@@ -1,0 +1,323 @@
+//! Vendor-library schedule providers and baseline pipelines.
+
+use unigpu_device::{DeviceSpec, Platform, Vendor};
+use unigpu_graph::latency::FallbackSchedules;
+use unigpu_graph::passes::optimize;
+use unigpu_graph::{
+    estimate_latency, place, Graph, LatencyOptions, LatencyReport, PlacementPolicy,
+    ScheduleProvider,
+};
+use unigpu_ops::conv::{ConvConfig, FallbackClass};
+use unigpu_ops::ConvWorkload;
+
+/// Which vendor library's expert schedules to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VendorSchedules {
+    /// Intel clDNN (inside OpenVINO).
+    ClDnn,
+    /// ARM Compute Library.
+    Acl,
+    /// Nvidia cuDNN.
+    CuDnn,
+}
+
+impl ScheduleProvider for VendorSchedules {
+    fn conv_config(&self, w: &ConvWorkload, _spec: &DeviceSpec) -> ConvConfig {
+        let class = ConvConfig::fallback_class(w);
+        match self {
+            // clDNN: mature Intel kernels. Subgroup block reads everywhere,
+            // including a well-tuned depthwise kernel — the reason OpenVINO
+            // beats the paper's stack on MobileNet (Table 1, 0.62x).
+            VendorSchedules::ClDnn => {
+                if w.is_depthwise() {
+                    ConvConfig {
+                        tile_oc: 1,
+                        tile_oh: 2,
+                        tile_ow: 8.min(w.out_w()),
+                        vector_width: 8,
+                        unroll: 4,
+                        workgroup: (16, 4),
+                        use_subgroup: true,
+                        use_slm: false,
+                    }
+                } else {
+                    ConvConfig {
+                        tile_oc: 8.min(w.out_channels),
+                        tile_oh: 1,
+                        tile_ow: 4.min(w.out_w()),
+                        vector_width: 8,
+                        unroll: 4,
+                        workgroup: (16, 4),
+                        use_subgroup: true,
+                        use_slm: false,
+                    }
+                }
+            }
+            // ACL: solid direct kernels with vec4; generic across shapes,
+            // not specialized for narrow towers.
+            VendorSchedules::Acl => match class {
+                FallbackClass::HandTuned | FallbackClass::Generic => ConvConfig {
+                    tile_oc: 4.min(w.out_channels),
+                    tile_oh: 2,
+                    tile_ow: 4.min(w.out_w()),
+                    vector_width: 4,
+                    unroll: 4,
+                    workgroup: (8, 8),
+                    use_subgroup: false,
+                    use_slm: false,
+                },
+                FallbackClass::Naive => ConvConfig {
+                    tile_oc: 2.min(w.out_channels),
+                    tile_oh: 1,
+                    tile_ow: 4.min(w.out_w()),
+                    vector_width: 4,
+                    unroll: 2,
+                    workgroup: (8, 8),
+                    use_subgroup: false,
+                    use_slm: false,
+                },
+            },
+            // cuDNN: superb classic kernels (winograd/implicit-GEMM class),
+            // noticeably weaker on depthwise and narrow novel shapes in the
+            // v7 era.
+            VendorSchedules::CuDnn => {
+                if w.is_depthwise() {
+                    ConvConfig {
+                        tile_oc: 1,
+                        tile_oh: 1,
+                        tile_ow: 2.min(w.out_w()),
+                        vector_width: 1,
+                        unroll: 2,
+                        workgroup: (32, 2),
+                        use_subgroup: false,
+                        use_slm: false,
+                    }
+                } else {
+                    match class {
+                        FallbackClass::HandTuned => ConvConfig {
+                            tile_oc: 8.min(w.out_channels),
+                            tile_oh: 1,
+                            tile_ow: 4.min(w.out_w()),
+                            vector_width: 1,
+                            unroll: 8,
+                            workgroup: (32, 4),
+                            use_subgroup: false,
+                            use_slm: true,
+                        },
+                        FallbackClass::Generic => ConvConfig {
+                            tile_oc: 4.min(w.out_channels),
+                            tile_oh: 1,
+                            tile_ow: 2.min(w.out_w()),
+                            vector_width: 1,
+                            unroll: 4,
+                            workgroup: (32, 4),
+                            use_subgroup: false,
+                            use_slm: true,
+                        },
+                        FallbackClass::Naive => ConvConfig {
+                            tile_oc: 2.min(w.out_channels),
+                            tile_oh: 1,
+                            tile_ow: 1,
+                            vector_width: 1,
+                            unroll: 1,
+                            workgroup: (16, 2),
+                            use_subgroup: false,
+                            use_slm: false,
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One end-to-end vendor baseline.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Name as printed in the tables' column headers.
+    pub name: &'static str,
+    pub schedules: VendorSchedules,
+    /// Supports object-detection models at all?
+    pub covers_detection: bool,
+    /// Whether the framework performs graph optimization (fusion/folding).
+    pub fuses: bool,
+    /// Multiplier on the vision-operator portion (hand-written vendor
+    /// post-processing quality relative to ours).
+    pub vision_factor: f64,
+    /// Multiplier on the convolution portion of *classification* models:
+    /// vendor kernels use techniques outside our template space (Winograd
+    /// for the repeated 3x3 stride-1 shapes, JIT shape specialization) whose
+    /// wins concentrate in the compute-bound classification workloads; the
+    /// bandwidth-bound 512x512 detection backbones do not benefit.
+    pub conv_factor: f64,
+    /// Per-operator framework dispatch overhead, ms.
+    pub dispatch_ms: f64,
+}
+
+/// Intel OpenVINO (clDNN) — classification only.
+pub fn openvino() -> Baseline {
+    Baseline {
+        name: "OpenVINO",
+        schedules: VendorSchedules::ClDnn,
+        covers_detection: false,
+        fuses: true,
+        vision_factor: 1.0,
+        conv_factor: 0.72,
+        dispatch_ms: 0.02,
+    }
+}
+
+/// ARM Compute Library v19.02, manually integrated.
+pub fn acl() -> Baseline {
+    Baseline {
+        name: "ACL",
+        schedules: VendorSchedules::Acl,
+        covers_detection: true,
+        fuses: true,
+        // ACL's hand-written detection post-processing is competitive —
+        // Table 2 shows the baseline slightly ahead on detection models.
+        vision_factor: 0.72,
+        conv_factor: 0.73,
+        dispatch_ms: 0.05,
+    }
+}
+
+/// MXNet v1.4 backed by cuDNN v7.
+pub fn cudnn_mxnet() -> Baseline {
+    Baseline {
+        name: "cuDNN",
+        schedules: VendorSchedules::CuDnn,
+        covers_detection: true,
+        fuses: false, // MXNet-era executor: no cross-op fusion
+        vision_factor: 1.6, // GPU NMS existed but was not tuned for Nano
+        conv_factor: 0.68,
+        dispatch_ms: 0.05,
+    }
+}
+
+/// The baseline used on a given platform in the paper's tables.
+pub fn baseline_for(platform: &Platform) -> Baseline {
+    match platform.gpu.vendor {
+        Vendor::Intel => openvino(),
+        Vendor::Arm => acl(),
+        Vendor::Nvidia => cudnn_mxnet(),
+        Vendor::Generic => panic!("no vendor baseline for a CPU platform"),
+    }
+}
+
+impl Baseline {
+    /// Does this library run the model at all? (`is_detection` from the zoo.)
+    pub fn supports(&self, is_detection: bool) -> bool {
+        !is_detection || self.covers_detection
+    }
+
+    /// End-to-end latency of the model under this baseline, or `None` when
+    /// unsupported (the "—" cells of Table 1).
+    pub fn latency(&self, model: &Graph, platform: &Platform, is_detection: bool) -> Option<LatencyReport> {
+        if !self.supports(is_detection) {
+            return None;
+        }
+        let g = if self.fuses { optimize(model) } else { model.clone() };
+        let placed = place(&g, PlacementPolicy::AllGpu);
+        let opts = LatencyOptions { vision_optimized: true };
+        let mut report = estimate_latency(&placed, platform, &self.schedules, &opts);
+        // vendor post-processing quality, vendor kernel tricks outside our
+        // template space, and framework dispatch overhead
+        report.total_ms += report.vision_ms() * (self.vision_factor - 1.0);
+        if !is_detection {
+            report.total_ms += report.conv_ms() * (self.conv_factor - 1.0);
+        }
+        report.total_ms += self.dispatch_ms * g.op_count() as f64;
+        Some(report)
+    }
+}
+
+/// Our stack's end-to-end latency with a given schedule provider (the "Ours"
+/// columns): graph optimization, all-GPU placement, optimized vision ops.
+pub fn ours_latency(
+    model: &Graph,
+    platform: &Platform,
+    provider: &dyn ScheduleProvider,
+) -> LatencyReport {
+    let g = optimize(model);
+    let placed = place(&g, PlacementPolicy::AllGpu);
+    estimate_latency(&placed, platform, provider, &LatencyOptions { vision_optimized: true })
+}
+
+/// Our stack with *fallback* (untuned) schedules — Table 5's "Before".
+pub fn ours_untuned_latency(model: &Graph, platform: &Platform) -> LatencyReport {
+    ours_latency(model, platform, &FallbackSchedules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_models::{mobilenet, squeezenet};
+
+    #[test]
+    fn openvino_rejects_detection_models() {
+        let b = openvino();
+        assert!(b.supports(false));
+        assert!(!b.supports(true));
+        let g = mobilenet(1, 64, 10);
+        assert!(b.latency(&g, &Platform::deeplens(), true).is_none());
+        assert!(b.latency(&g, &Platform::deeplens(), false).is_some());
+    }
+
+    #[test]
+    fn acl_and_cudnn_cover_everything() {
+        assert!(acl().supports(true));
+        assert!(cudnn_mxnet().supports(true));
+    }
+
+    #[test]
+    fn baseline_for_matches_vendor() {
+        assert_eq!(baseline_for(&Platform::deeplens()).name, "OpenVINO");
+        assert_eq!(baseline_for(&Platform::aisage()).name, "ACL");
+        assert_eq!(baseline_for(&Platform::jetson_nano()).name, "cuDNN");
+    }
+
+    #[test]
+    fn cldnn_depthwise_beats_intel_restricted_space() {
+        // the Table-1 MobileNet inversion: clDNN's mature depthwise kernel
+        // uses SIMD-8 subgroups our Intel depthwise template forgoes (§4.2)
+        use unigpu_device::CostModel;
+        use unigpu_ops::conv::{conv_profile, ConfigSpace};
+        let w = ConvWorkload::depthwise(1, 256, 28, 3, 1, 1);
+        let spec = DeviceSpec::intel_hd505();
+        let m = CostModel::new(spec.clone());
+        let cldnn = VendorSchedules::ClDnn.conv_config(&w, &spec);
+        let cldnn_ms = m.kernel_time_ms(&conv_profile(&w, &cldnn, &spec));
+        // best config our restricted Intel depthwise space can express
+        let space = ConfigSpace::build(&w, &spec);
+        let ours_best = (0..space.len())
+            .map(|i| m.kernel_time_ms(&conv_profile(&w, &space.get(i), &spec)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            cldnn_ms < ours_best,
+            "clDNN depthwise {cldnn_ms:.4} must beat our restricted best {ours_best:.4}"
+        );
+    }
+
+    #[test]
+    fn mxnet_overhead_counts_per_op() {
+        let g = squeezenet(1, 64, 10);
+        let b = cudnn_mxnet();
+        let plat = Platform::jetson_nano();
+        let with = b.latency(&g, &plat, false).unwrap().total_ms;
+        let mut b0 = b.clone();
+        b0.dispatch_ms = 0.0;
+        let without = b0.latency(&g, &plat, false).unwrap().total_ms;
+        assert!(with > without + 1.0, "per-op dispatch must be visible: {with} vs {without}");
+    }
+
+    #[test]
+    fn ours_pipeline_runs_on_all_platforms() {
+        let g = mobilenet(1, 64, 10);
+        for plat in Platform::all() {
+            let r = ours_untuned_latency(&g, &plat);
+            assert!(r.total_ms > 0.0);
+            assert_eq!(r.cpu_ms, 0.0, "classification runs fully on GPU");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the convolution host kernels: reference
+//! direct convolution versus the schedule-parameterized spatial-pack
+//! template at several configurations, plus depthwise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unigpu_ops::conv::{conv2d_ref, conv2d_spatial_pack, ConvConfig};
+use unigpu_ops::ConvWorkload;
+use unigpu_tensor::init::random_uniform;
+
+fn bench_conv(c: &mut Criterion) {
+    let w = ConvWorkload::square(1, 32, 32, 28, 3, 1, 1);
+    let data = random_uniform(w.input_shape(), 1);
+    let wt = random_uniform(w.weight_shape(), 2);
+
+    let mut g = c.benchmark_group("conv2d_28x28x32");
+    g.bench_function("reference", |b| b.iter(|| conv2d_ref(&data, &wt, &w)));
+    let configs = [
+        ("default", ConvConfig::default_schedule()),
+        (
+            "tiled_4x2x4",
+            ConvConfig {
+                tile_oc: 4,
+                tile_oh: 2,
+                tile_ow: 4,
+                vector_width: 4,
+                unroll: 4,
+                workgroup: (16, 4),
+                use_subgroup: false,
+                use_slm: false,
+            },
+        ),
+        (
+            "tiled_8x1x8",
+            ConvConfig {
+                tile_oc: 8,
+                tile_oh: 1,
+                tile_ow: 8,
+                vector_width: 8,
+                unroll: 2,
+                workgroup: (8, 8),
+                use_subgroup: false,
+                use_slm: false,
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::new("spatial_pack", name), &cfg, |b, cfg| {
+            b.iter(|| conv2d_spatial_pack(&data, &wt, &w, cfg))
+        });
+    }
+    g.finish();
+
+    let dw = ConvWorkload::depthwise(1, 64, 28, 3, 1, 1);
+    let ddata = random_uniform(dw.input_shape(), 3);
+    let dwt = random_uniform(dw.weight_shape(), 4);
+    c.bench_function("depthwise_28x28x64", |b| b.iter(|| conv2d_ref(&ddata, &dwt, &dw)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the tuning machinery itself: GBT surrogate
+//! fit/predict throughput and one model-based tuning round — the costs that
+//! determine how long §3.2.3's "tens of hours" search takes per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unigpu_device::DeviceSpec;
+use unigpu_ops::conv::ConfigSpace;
+use unigpu_ops::ConvWorkload;
+use unigpu_tuner::gbt::Gbt;
+use unigpu_tuner::{ModelBasedTuner, SimMeasurer, Tuner};
+
+fn bench_gbt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..14).map(|_| rng.gen_range(0.0..8.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[3] + x[7]).collect();
+    c.bench_function("gbt_fit_256x14_40trees", |b| {
+        b.iter(|| Gbt::fit(&xs, &ys, 40, 3, 0.25))
+    });
+    let model = Gbt::fit(&xs, &ys, 40, 3, 0.25);
+    c.bench_function("gbt_predict", |b| b.iter(|| model.predict(&xs[17])));
+}
+
+fn bench_tuning_round(c: &mut Criterion) {
+    let w = ConvWorkload::square(1, 128, 128, 28, 3, 1, 1);
+    let spec = DeviceSpec::intel_hd505();
+    let space = ConfigSpace::build(&w, &spec);
+    c.bench_function("model_based_tune_64_trials", |b| {
+        b.iter(|| {
+            let mut m = SimMeasurer::new(spec.clone(), 0.0, 11);
+            ModelBasedTuner::new(11).tune(&w, &space, &mut m, 64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gbt, bench_tuning_round
+}
+criterion_main!(benches);

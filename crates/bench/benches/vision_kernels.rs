@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the vision-operator host kernels:
+//! wall-clock of the *functional* implementations (the simulated-latency
+//! numbers in the tables come from the cost model; these measure the real
+//! Rust kernels so regressions in the algorithms themselves are caught).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unigpu_ops::vision::nms::{box_nms, NmsConfig};
+use unigpu_ops::vision::scan::{hillis_steele, prefix_sum};
+use unigpu_ops::vision::sort::{naive_segment_argsort, segmented_argsort};
+use unigpu_tensor::Tensor;
+
+fn ssd_like_segments(n: usize, seed: u64) -> (Vec<f32>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    // 21 classes, one dominating segment (like SSD post-classification)
+    let mut offsets = vec![0usize];
+    for i in 0..20 {
+        offsets.push(offsets.last().unwrap() + n / 40 * (i % 3 + 1) / 2);
+    }
+    offsets.push(n);
+    (data, offsets)
+}
+
+fn bench_segmented_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmented_argsort");
+    for &n in &[1024usize, 8192] {
+        let (data, offsets) = ssd_like_segments(n, 42);
+        g.bench_with_input(BenchmarkId::new("figure2_pipeline", n), &n, |b, _| {
+            b.iter(|| segmented_argsort(&data, &offsets, 256))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_per_segment", n), &n, |b, _| {
+            b.iter(|| naive_segment_argsort(&data, &offsets))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_sum");
+    for &n in &[4096usize, 1 << 16] {
+        let data: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        g.bench_with_input(BenchmarkId::new("three_stage", n), &n, |b, _| {
+            b.iter(|| prefix_sum(&data, 64))
+        });
+        g.bench_with_input(BenchmarkId::new("hillis_steele", n), &n, |b, _| {
+            b.iter(|| hillis_steele(&data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_nms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 2000;
+    let rows: Vec<f32> = (0..n)
+        .flat_map(|_| {
+            let x: f32 = rng.gen_range(0.0..100.0);
+            let y: f32 = rng.gen_range(0.0..100.0);
+            let w: f32 = rng.gen_range(1.0..20.0);
+            let h: f32 = rng.gen_range(1.0..20.0);
+            vec![
+                rng.gen_range(0..21) as f32,
+                rng.gen_range(0.0..1.0),
+                x,
+                y,
+                x + w,
+                y + h,
+            ]
+        })
+        .collect();
+    let boxes = Tensor::from_vec([1, n, 6], rows);
+    let cfg = NmsConfig { iou_threshold: 0.45, valid_thresh: 0.01, topk: Some(400), force_suppress: false };
+    c.bench_function("box_nms/2000_boxes", |b| b.iter(|| box_nms(&boxes, &cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_segmented_sort, bench_scan, bench_nms
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the §3.1.2 fallback experiment: SSD (ResNet50 backbone) on
+//! AWS DeepLens, entirely on the integrated GPU versus with the NMS-bearing
+//! operators falling back to the CPU.
+//!
+//! Paper: 1010.23 ms all-GPU vs 1015.14 ms with fallback — "an overhead less
+//! than 0.5 %".
+
+use unigpu_bench::paper::{FALLBACK_ALL_GPU_MS, FALLBACK_NMS_CPU_MS};
+use unigpu_bench::{harness_budget, tuned_provider_for};
+use unigpu_device::Platform;
+use unigpu_graph::passes::optimize;
+use unigpu_graph::{estimate_latency, place, LatencyOptions, PlacementPolicy};
+use unigpu_models::ssd_resnet50;
+
+fn main() {
+    let platform = Platform::deeplens();
+    let provider = tuned_provider_for(&platform, &harness_budget());
+    let g = optimize(&ssd_resnet50(512, 20));
+    let opts = LatencyOptions { vision_optimized: true };
+
+    let all_gpu = place(&g, PlacementPolicy::AllGpu);
+    let r_gpu = estimate_latency(&all_gpu, &platform, &provider, &opts);
+
+    let fb = place(&g, PlacementPolicy::FallbackVision);
+    let r_fb = estimate_latency(&fb, &platform, &provider, &opts);
+
+    println!("\n=== §3.1.2 fallback experiment — SSD_ResNet50 on AWS DeepLens ===");
+    println!("{:<28} {:>12} {:>12}", "Configuration", "ours (ms)", "paper (ms)");
+    println!("{:<28} {:>12.2} {:>12.2}", "entirely on integrated GPU", r_gpu.total_ms, FALLBACK_ALL_GPU_MS);
+    println!("{:<28} {:>12.2} {:>12.2}", "NMS fallback to CPU", r_fb.total_ms, FALLBACK_NMS_CPU_MS);
+    let overhead = r_fb.total_ms / r_gpu.total_ms - 1.0;
+    let paper_overhead = FALLBACK_NMS_CPU_MS / FALLBACK_ALL_GPU_MS - 1.0;
+    println!(
+        "fallback overhead: {:.2}% (paper: {:.2}%)  [copies inserted: {}, transfer {:.3} ms]",
+        overhead * 100.0,
+        paper_overhead * 100.0,
+        fb.copy_count(),
+        r_fb.transfer_ms
+    );
+    assert!(overhead.abs() < 0.05, "fallback overhead should be small");
+}

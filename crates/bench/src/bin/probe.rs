@@ -1,0 +1,23 @@
+//! Calibration probe (development tool): prints cost-model components for
+//! the vision-op naive/optimized paths and tuned depthwise schedules.
+use unigpu_device::{CostModel, DeviceSpec};
+use unigpu_ops::vision::sort::{naive_sort_profile, segmented_sort_profiles};
+use unigpu_ops::vision::nms::{naive_nms_profile, nms_profiles};
+
+fn main() {
+    let spec = DeviceSpec::mali_t860();
+    let m = CostModel::new(spec.clone());
+    let mut lens = vec![6132usize / 40; 20];
+    lens.push(6132 - lens.iter().sum::<usize>());
+    let p = naive_sort_profile(&lens);
+    println!("naive sort profile: {p:#?}");
+    println!("occupancy: {}", m.occupancy(p.work_items, p.workgroup_size));
+    println!("time: {} ms", m.kernel_time_ms(&p));
+    println!("total flops {}  total bytes {}", p.total_flops(), p.total_bytes());
+    let opt: f64 = segmented_sort_profiles(6132, 256, &spec).iter().map(|q| m.kernel_time_ms(q)).sum();
+    println!("optimized sort: {opt} ms");
+    let nn = naive_nms_profile(6132, 21);
+    println!("naive nms: {} ms", m.kernel_time_ms(&nn));
+    let on: f64 = nms_profiles(6132, &spec).iter().map(|q| m.kernel_time_ms(q)).sum();
+    println!("optimized nms: {on} ms");
+}

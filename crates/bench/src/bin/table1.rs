@@ -1,0 +1,15 @@
+//! Regenerates Table 1 — AWS DeepLens (Intel HD 505): Ours vs OpenVINO.
+
+use unigpu_bench::paper::TABLE1;
+use unigpu_bench::{overall_table, print_table};
+use unigpu_device::Platform;
+
+fn main() {
+    let platform = Platform::deeplens();
+    let rows = overall_table(&platform, &TABLE1);
+    print_table(
+        "Table 1 — AWS DeepLens (Intel HD 505): Ours vs OpenVINO",
+        "OpenVINO",
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2 — Acer aiSage (ARM Mali T-860): Ours vs ACL.
+
+use unigpu_bench::paper::TABLE2;
+use unigpu_bench::{overall_table, print_table};
+use unigpu_device::Platform;
+
+fn main() {
+    let platform = Platform::aisage();
+    let rows = overall_table(&platform, &TABLE2);
+    print_table(
+        "Table 2 — Acer aiSage (ARM Mali T-860): Ours vs ACL",
+        "ACL",
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 3 — Nvidia Jetson Nano (Maxwell): Ours vs cuDNN.
+
+use unigpu_bench::paper::TABLE3;
+use unigpu_bench::{overall_table, print_table};
+use unigpu_device::Platform;
+
+fn main() {
+    let platform = Platform::jetson_nano();
+    let rows = overall_table(&platform, &TABLE3);
+    print_table(
+        "Table 3 — Nvidia Jetson Nano (Maxwell): Ours vs cuDNN",
+        "cuDNN",
+        &rows,
+    );
+}

@@ -1,0 +1,16 @@
+//! # unigpu-bench
+//!
+//! The evaluation harness: one binary per table/figure of the paper
+//! (`table1`–`table5`, `figure2`, `figure3`, `fallback`) plus Criterion
+//! micro-benchmarks of the host kernels.
+//!
+//! Shared plumbing lives here: tuned-schedule caching, table formatting, and
+//! the paper's reported numbers for side-by-side comparison.
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{
+    harness_budget, ours_tuned_latency, overall_table, print_ablation, print_table,
+    tuned_provider_for, Row,
+};

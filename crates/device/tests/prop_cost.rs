@@ -1,0 +1,137 @@
+//! Property tests on the cost model: monotonicity and sanity bounds that any
+//! believable performance model must satisfy, over arbitrary profiles.
+
+use proptest::prelude::*;
+use unigpu_device::{CostModel, DeviceSpec, KernelProfile, TransferProfile};
+
+fn arb_profile() -> impl Strategy<Value = KernelProfile> {
+    (
+        1usize..1 << 20,        // work items
+        1usize..512,            // workgroup
+        0.0f64..4096.0,         // flops
+        0.0f64..512.0,          // reads
+        0.0f64..64.0,           // writes
+        0.05f64..1.0,           // simd
+        0.05f64..1.0,           // divergence
+        1.0f64..8.0,            // imbalance
+        0.05f64..1.0,           // coalescing
+    )
+        .prop_map(|(n, wg, fl, rd, wr, simd, div, imb, coal)| {
+            KernelProfile::new("prop", n)
+                .workgroup(wg)
+                .flops(fl)
+                .reads(rd)
+                .writes(wr)
+                .simd(simd)
+                .divergence(div)
+                .imbalance(imb)
+                .coalesce(coal)
+        })
+}
+
+fn all_specs() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::intel_hd505(),
+        DeviceSpec::mali_t860(),
+        DeviceSpec::maxwell_nano(),
+        DeviceSpec::atom_x5_e3930(),
+        DeviceSpec::rk3399_cpu(),
+        DeviceSpec::cortex_a57_quad(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn time_is_positive_and_finite(p in arb_profile()) {
+        for spec in all_specs() {
+            let t = CostModel::new(spec).kernel_time_ms(&p);
+            prop_assert!(t.is_finite() && t > 0.0, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn doubling_flops_never_speeds_up(p in arb_profile()) {
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let mut q = p.clone();
+            q.flops_per_item *= 2.0;
+            prop_assert!(m.kernel_time_ms(&q) >= m.kernel_time_ms(&p) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn doubling_bytes_never_speeds_up(p in arb_profile()) {
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let mut q = p.clone();
+            q.bytes_read_per_item *= 2.0;
+            q.bytes_written_per_item *= 2.0;
+            prop_assert!(m.kernel_time_ms(&q) >= m.kernel_time_ms(&p) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn worse_divergence_never_speeds_up(p in arb_profile()) {
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let mut q = p.clone();
+            q.divergence_factor = (p.divergence_factor * 0.5).max(1e-3);
+            prop_assert!(m.kernel_time_ms(&q) >= m.kernel_time_ms(&p) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn effective_flops_never_exceed_peak(p in arb_profile()) {
+        for spec in all_specs() {
+            let peak = spec.peak_gflops;
+            let m = CostModel::new(spec);
+            prop_assert!(m.effective_gflops(&p) <= peak * 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn achieved_bandwidth_never_exceeds_bus(p in arb_profile()) {
+        for spec in all_specs() {
+            let bw = spec.mem_bw_gbps;
+            let m = CostModel::new(spec);
+            let t = m.kernel_time_ms(&p);
+            let gbps = p.total_bytes() / (t * 1e-3) / 1e9;
+            prop_assert!(gbps <= bw * 1.01, "{gbps} > {bw}");
+        }
+    }
+
+    #[test]
+    fn occupancy_in_unit_interval(n in 0usize..1 << 22, wg in 1usize..1024) {
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let o = m.occupancy(n, wg);
+            prop_assert!((0.0..=1.0).contains(&o) || o <= 1.0 + 1e-12);
+            prop_assert!(o > 0.0);
+        }
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_size(a in 0usize..1 << 26, b in 0usize..1 << 26) {
+        let (small, big) = if a <= b { (a, b) } else { (b, a) };
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let ts = m.transfer_time_ms(&TransferProfile { bytes: small });
+            let tb = m.transfer_time_ms(&TransferProfile { bytes: big });
+            prop_assert!(tb >= ts - 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_launches_scale_linearly(p in arb_profile(), k in 2usize..8) {
+        for spec in all_specs() {
+            let m = CostModel::new(spec);
+            let one = m.kernel_time_ms(&p);
+            let many = m.kernel_time_ms(&p.clone().repeated(k));
+            // k launches of the same kernel take ~k times as long (exactly,
+            // in this model: overhead and work both scale by k)
+            prop_assert!((many - one * k as f64).abs() < one * k as f64 * 0.5 + 1e-9);
+        }
+    }
+}

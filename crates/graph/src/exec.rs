@@ -1,0 +1,276 @@
+//! Functional graph executor — computes real tensors for every node.
+
+use crate::graph::Graph;
+use crate::node::{Activation, OpKind};
+use unigpu_ops::conv::conv2d_ref;
+use unigpu_ops::nn;
+use unigpu_ops::vision;
+use unigpu_tensor::Tensor;
+
+/// Executes a graph on concrete inputs.
+#[derive(Debug, Default)]
+pub struct Executor;
+
+fn apply_act(t: Tensor, act: Activation) -> Tensor {
+    match act {
+        Activation::None => t,
+        Activation::Relu => nn::relu(&t),
+        Activation::LeakyRelu(a) => nn::leaky_relu(&t, a),
+        Activation::Sigmoid => nn::sigmoid(&t),
+    }
+}
+
+impl Executor {
+    /// Run `graph` with `inputs` bound to its `Input` nodes in order.
+    /// Returns the tensors of the marked outputs.
+    pub fn run(&self, graph: &Graph, inputs: &[Tensor]) -> Vec<Tensor> {
+        let input_ids = graph.input_ids();
+        assert_eq!(
+            input_ids.len(),
+            inputs.len(),
+            "graph `{}` expects {} inputs, got {}",
+            graph.name,
+            input_ids.len(),
+            inputs.len()
+        );
+        let mut values: Vec<Option<Tensor>> = vec![None; graph.nodes.len()];
+        let mut next_input = 0usize;
+
+        for (id, node) in graph.nodes.iter().enumerate() {
+            let get = |i: usize| -> &Tensor {
+                values[node.inputs[i]]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("node {id} input {i} not computed"))
+            };
+            let out: Tensor = match &node.op {
+                OpKind::Input { shape } => {
+                    let t = inputs[next_input].clone();
+                    assert_eq!(
+                        t.shape(),
+                        shape,
+                        "input {next_input} shape mismatch for `{}`",
+                        node.name
+                    );
+                    next_input += 1;
+                    t
+                }
+                OpKind::Constant(t) => t.clone(),
+                OpKind::Conv2d { w, bias, act } => {
+                    let mut y = conv2d_ref(get(0), get(1), w);
+                    if *bias {
+                        y = nn::bias_add(&y, get(2));
+                    }
+                    apply_act(y, *act)
+                }
+                OpKind::BatchNorm { eps } => {
+                    nn::batch_norm(get(0), get(1), get(2), get(3), get(4), *eps)
+                }
+                OpKind::Act(a) => apply_act(get(0).clone(), *a),
+                OpKind::Add => nn::add(get(0), get(1)),
+                OpKind::Concat => {
+                    let parts: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    nn::concat_channels(&parts)
+                }
+                OpKind::MaxPool { k, s, p } => nn::max_pool2d(get(0), *k, *s, *p),
+                OpKind::AvgPool { k, s, p } => nn::avg_pool2d(get(0), *k, *s, *p),
+                OpKind::GlobalAvgPool => nn::global_avg_pool(get(0)),
+                OpKind::Dense { bias, .. } => {
+                    nn::dense(get(0), get(1), if *bias { Some(get(2)) } else { None })
+                }
+                OpKind::Flatten => nn::flatten(get(0)),
+                OpKind::Softmax => nn::softmax(get(0)),
+                OpKind::UpsampleNearest { scale } => nn::upsample_nearest(get(0), *scale),
+                OpKind::FlattenHead => flatten_head(get(0)),
+                OpKind::ConcatFlat => {
+                    let n = get(0).shape().dim(0);
+                    let mut data = Vec::new();
+                    // concat along axis 1 for each batch row
+                    let parts: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    for b in 0..n {
+                        for p in &parts {
+                            let cols = p.shape().dim(1);
+                            data.extend_from_slice(&p.as_f32()[b * cols..(b + 1) * cols]);
+                        }
+                    }
+                    let total: usize = parts.iter().map(|p| p.shape().dim(1)).sum();
+                    Tensor::from_vec([n, total], data)
+                }
+                OpKind::ClsProbs { classes } => cls_probs(get(0), *classes),
+                OpKind::MultiboxPrior { sizes, ratios } => {
+                    let (_, _, h, w) = get(0).shape().nchw();
+                    vision::multibox_prior(h, w, sizes, ratios)
+                }
+                OpKind::ConcatAnchors => {
+                    let parts: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    let total: usize = parts.iter().map(|p| p.shape().dim(1)).sum();
+                    let mut data = Vec::with_capacity(total * 4);
+                    for p in &parts {
+                        data.extend_from_slice(p.as_f32());
+                    }
+                    Tensor::from_vec([1, total, 4], data)
+                }
+                OpKind::MultiboxDetection { cfg } => {
+                    vision::multibox_detection(get(0), get(1), get(2), cfg)
+                }
+                OpKind::YoloDetect { anchors, strides, classes, conf, nms } => {
+                    let feats: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    vision::yolo::yolo_detect(&feats, anchors, strides, *classes, *conf, nms)
+                }
+                OpKind::DeviceCopy => get(0).clone(),
+            };
+            values[id] = Some(out);
+        }
+
+        graph
+            .outputs
+            .iter()
+            .map(|&o| values[o].clone().expect("output not computed"))
+            .collect()
+    }
+}
+
+/// `NCHW → [N, H·W·C]`: transpose to NHWC then flatten (SSD head layout, so
+/// per-position predictions stay contiguous).
+fn flatten_head(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let src = x.as_f32();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for hi in 0..h {
+            for wi in 0..w {
+                for ci in 0..c {
+                    out[((ni * h + hi) * w + wi) * c + ci] =
+                        src[((ni * c + ci) * h + hi) * w + wi];
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c * h * w], out)
+}
+
+/// `[1, total·(classes)] → [1, classes, anchors]` with per-anchor softmax.
+/// `classes` here includes background (the ClsProbs op stores `classes` as
+/// foreground count; rows are `classes + 1` wide).
+fn cls_probs(x: &Tensor, classes: usize) -> Tensor {
+    let d = x.shape().dims();
+    let per = classes + 1;
+    let anchors = d[1] / per;
+    let batch = d[0];
+    let src = x.as_f32();
+    let mut out = Tensor::zeros([batch, per, anchors]);
+    let o = out.as_f32_mut();
+    for b in 0..batch {
+        for a in 0..anchors {
+            let row = &src[b * d[1] + a * per..b * d[1] + (a + 1) * per];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (cls, &e) in exps.iter().enumerate() {
+                o[(b * per + cls) * anchors + a] = e / sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use unigpu_ops::ConvWorkload;
+    use unigpu_tensor::init::random_uniform;
+    use unigpu_tensor::Shape;
+
+    #[test]
+    fn conv_relu_pipeline_executes() {
+        let w = ConvWorkload::square(1, 3, 4, 6, 3, 1, 1);
+        let mut g = Graph::new("toy");
+        let x = g.add(OpKind::Input { shape: Shape::from(w.input_shape()) }, vec![], "x");
+        let wt = g.add(OpKind::Constant(random_uniform(w.weight_shape(), 1)), vec![], "w");
+        let c = g.add(OpKind::Conv2d { w, bias: false, act: Activation::Relu }, vec![x, wt], "c");
+        g.mark_output(c);
+        let data = {
+            let mut t = random_uniform(w.input_shape(), 2);
+            t.map_inplace(|v| v - 0.5);
+            t
+        };
+        let out = Executor.run(&g, &[data]);
+        assert_eq!(out[0].shape().dims(), &[1, 4, 6, 6]);
+        assert!(out[0].as_f32().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn fused_activation_equals_separate_node() {
+        let w = ConvWorkload::square(1, 2, 3, 5, 3, 1, 1);
+        let data = random_uniform(w.input_shape(), 3);
+        let wt = random_uniform(w.weight_shape(), 4);
+
+        let build = |fused: bool| {
+            let mut g = Graph::new("t");
+            let x = g.add(OpKind::Input { shape: Shape::from(w.input_shape()) }, vec![], "x");
+            let k = g.add(OpKind::Constant(wt.clone()), vec![], "w");
+            if fused {
+                let c = g.add(
+                    OpKind::Conv2d { w, bias: false, act: Activation::Relu },
+                    vec![x, k],
+                    "c",
+                );
+                g.mark_output(c);
+            } else {
+                let c = g.add(
+                    OpKind::Conv2d { w, bias: false, act: Activation::None },
+                    vec![x, k],
+                    "c",
+                );
+                let r = g.add(OpKind::Act(Activation::Relu), vec![c], "r");
+                g.mark_output(r);
+            }
+            g
+        };
+        let a = Executor.run(&build(true), &[data.clone()]);
+        let b = Executor.run(&build(false), &[data]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flatten_head_is_nhwc_order() {
+        // 1x2x1x2 tensor: channels (A,B), positions p0,p1
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 2.0, 10.0, 20.0]);
+        let y = flatten_head(&x);
+        // NHWC: p0(A,B), p1(A,B)
+        assert_eq!(y.as_f32(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn cls_probs_softmaxes_per_anchor() {
+        // 2 anchors, 1 foreground class (per=2)
+        let x = Tensor::from_vec([1, 4], vec![0.0, 0.0, 5.0, -5.0]);
+        let y = cls_probs(&x, 1);
+        assert_eq!(y.shape().dims(), &[1, 2, 2]);
+        assert!((y.at(&[0, 0, 0]) - 0.5).abs() < 1e-6);
+        assert!(y.at(&[0, 0, 1]) > 0.99); // anchor 1 strongly background
+        let s: f32 = y.at(&[0, 0, 1]) + y.at(&[0, 1, 1]);
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_add_and_pool() {
+        let mut g = Graph::new("res");
+        let sh = Shape::from([1, 2, 4, 4]);
+        let x = g.add(OpKind::Input { shape: sh.clone() }, vec![], "x");
+        let y = g.add(OpKind::Add, vec![x, x], "double");
+        let p = g.add(OpKind::GlobalAvgPool, vec![y], "gap");
+        g.mark_output(p);
+        let data = Tensor::full([1, 2, 4, 4], 1.5);
+        let out = Executor.run(&g, &[data]);
+        assert_eq!(out[0].as_f32(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 inputs")]
+    fn wrong_input_count_panics() {
+        let mut g = Graph::new("t");
+        g.add(OpKind::Input { shape: Shape::from([1]) }, vec![], "x");
+        Executor.run(&g, &[]);
+    }
+}

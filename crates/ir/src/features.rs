@@ -1,0 +1,112 @@
+//! Loop-structure feature extraction for the machine-learning cost model.
+//!
+//! AutoTVM's XGBoost ranker consumes features of the lowered loop program
+//! ("knob features + curve features"). This reproduction extracts a compact
+//! fixed-width vector capturing the same signal: problem size, launch
+//! geometry, vectorization/unrolling, register-tile footprint, and guard
+//! presence. `unigpu-tuner`'s gradient-boosted trees are trained on these.
+
+use crate::compute::Compute;
+use crate::schedule::{LoopTag, Schedule};
+
+/// Width of the feature vector produced by [`extract_features`].
+pub const FEATURE_DIM: usize = 12;
+
+fn log2p1(x: f64) -> f64 {
+    (x + 1.0).log2()
+}
+
+/// Extract the feature vector for a (compute, schedule) pair.
+pub fn extract_features(compute: &Compute, schedule: &Schedule) -> [f64; FEATURE_DIM] {
+    let loops = schedule.loops();
+    let first_reduce = loops.iter().position(|l| l.is_reduce);
+    // Register-tile size: spatial loops nested inside the reduction.
+    let tile: usize = match first_reduce {
+        Some(fr) => loops[fr..]
+            .iter()
+            .filter(|l| !l.is_reduce)
+            .map(|l| l.extent)
+            .product::<usize>()
+            .max(1),
+        None => 1,
+    };
+    let innermost = loops.last().map_or(1, |l| l.extent);
+    let threads: usize = schedule.workgroup_size().max(1);
+    let grid: usize = schedule.grid_size().max(1);
+    let n_bound = loops
+        .iter()
+        .filter(|l| matches!(l.tag, LoopTag::BlockIdx(_) | LoopTag::ThreadIdx(_)))
+        .count();
+
+    [
+        log2p1(compute.out_numel() as f64),
+        log2p1(compute.reduce_numel() as f64),
+        log2p1(grid as f64),
+        log2p1(threads as f64),
+        schedule.vector_len() as f64,
+        log2p1(schedule.unroll_len() as f64),
+        loops.len() as f64,
+        if schedule.guards().is_empty() { 0.0 } else { 1.0 },
+        log2p1(tile as f64),
+        log2p1(innermost as f64),
+        log2p1(compute.flops()),
+        n_bound as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::{Axis, Compute};
+    use crate::expr::Expr;
+
+    fn mk() -> Compute {
+        Compute::reduce_sum(
+            "o",
+            vec![Axis::new("i", 64), Axis::new("j", 64)],
+            vec![Axis::new("k", 32)],
+            Expr::Float(1.0),
+            Expr::var("i") * Expr::Int(64) + Expr::var("j"),
+        )
+    }
+
+    #[test]
+    fn dimension_is_stable() {
+        let c = mk();
+        let s = Schedule::default_for(&c);
+        assert_eq!(extract_features(&c, &s).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn features_respond_to_schedule_changes() {
+        let c = mk();
+        let base = extract_features(&c, &Schedule::default_for(&c));
+        let mut s = Schedule::default_for(&c);
+        let (_, ji) = s.split("j", 8).unwrap();
+        s.vectorize(&ji).unwrap();
+        s.split_bind("i", 16, 0).unwrap();
+        let tuned = extract_features(&c, &s);
+        assert_ne!(base, tuned);
+        assert_eq!(tuned[4], 8.0); // vector_len
+        assert!(tuned[3] > base[3]); // workgroup grew
+    }
+
+    #[test]
+    fn guard_feature_flips_on_imperfect_split() {
+        let c = mk();
+        let mut s = Schedule::default_for(&c);
+        s.split("i", 48).unwrap(); // 64 % 48 != 0
+        let f = extract_features(&c, &s);
+        assert_eq!(f[7], 1.0);
+    }
+
+    #[test]
+    fn tile_feature_counts_inner_spatial_loops() {
+        let c = mk();
+        let mut s = Schedule::default_for(&c);
+        let (_, ji) = s.split("j", 4).unwrap();
+        s.reorder(&["i", "j.o", "k", &ji]).unwrap();
+        let f = extract_features(&c, &s);
+        assert_eq!(f[8], (4.0f64 + 1.0).log2());
+    }
+}

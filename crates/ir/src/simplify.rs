@@ -1,0 +1,300 @@
+//! Algebraic simplification / constant folding over IR expressions.
+//!
+//! Schedule transforms generate index arithmetic like `(i.o*1 + i.i) + 0` or
+//! guards like `4*io + ii < 16` with constant-true ranges. This pass cleans
+//! lowered programs before codegen — smaller kernels, fewer runtime ops, and
+//! measurably simpler generated source (asserted in tests).
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::Stmt;
+
+fn is_int(e: &Expr, v: i64) -> bool {
+    matches!(e, Expr::Int(x) if *x == v)
+}
+
+fn is_float(e: &Expr, v: f64) -> bool {
+    matches!(e, Expr::Float(x) if *x == v)
+}
+
+/// Simplify one expression bottom-up.
+pub fn simplify_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => e.clone(),
+        Expr::Load { buf, index } => {
+            Expr::Load { buf: buf.clone(), index: Box::new(simplify_expr(index)) }
+        }
+        Expr::Select { cond, t, f } => {
+            let c = simplify_expr(cond);
+            match c {
+                Expr::Int(v) => {
+                    if v != 0 {
+                        simplify_expr(t)
+                    } else {
+                        simplify_expr(f)
+                    }
+                }
+                _ => Expr::Select {
+                    cond: Box::new(c),
+                    t: Box::new(simplify_expr(t)),
+                    f: Box::new(simplify_expr(f)),
+                },
+            }
+        }
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(simplify_expr).collect(),
+        },
+        Expr::Bin { op, a, b } => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            // constant folding (integer domain)
+            if let (Expr::Int(x), Expr::Int(y)) = (&a, &b) {
+                let (x, y) = (*x, *y);
+                let folded = match op {
+                    BinOp::Add => Some(x + y),
+                    BinOp::Sub => Some(x - y),
+                    BinOp::Mul => Some(x * y),
+                    BinOp::Div if y != 0 => Some(x.div_euclid(y)),
+                    BinOp::Mod if y != 0 => Some(x.rem_euclid(y)),
+                    BinOp::Min => Some(x.min(y)),
+                    BinOp::Max => Some(x.max(y)),
+                    BinOp::Lt => Some((x < y) as i64),
+                    BinOp::Le => Some((x <= y) as i64),
+                    BinOp::Gt => Some((x > y) as i64),
+                    BinOp::Ge => Some((x >= y) as i64),
+                    BinOp::Eq => Some((x == y) as i64),
+                    BinOp::And => Some(((x != 0) && (y != 0)) as i64),
+                    BinOp::Or => Some(((x != 0) || (y != 0)) as i64),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    return Expr::Int(v);
+                }
+            }
+            // identities
+            match op {
+                BinOp::Add => {
+                    if is_int(&a, 0) || is_float(&a, 0.0) {
+                        return b;
+                    }
+                    if is_int(&b, 0) || is_float(&b, 0.0) {
+                        return a;
+                    }
+                }
+                BinOp::Sub => {
+                    if is_int(&b, 0) || is_float(&b, 0.0) {
+                        return a;
+                    }
+                }
+                BinOp::Mul => {
+                    if is_int(&a, 1) || is_float(&a, 1.0) {
+                        return b;
+                    }
+                    if is_int(&b, 1) || is_float(&b, 1.0) {
+                        return a;
+                    }
+                    if is_int(&a, 0) || is_int(&b, 0) {
+                        return Expr::Int(0);
+                    }
+                    if is_float(&a, 0.0) || is_float(&b, 0.0) {
+                        return Expr::Float(0.0);
+                    }
+                }
+                BinOp::Div => {
+                    if is_int(&b, 1) || is_float(&b, 1.0) {
+                        return a;
+                    }
+                }
+                BinOp::Mod => {
+                    if is_int(&b, 1) {
+                        return Expr::Int(0);
+                    }
+                }
+                BinOp::And => {
+                    // true && x → x ; false && x → false
+                    if is_int(&a, 1) {
+                        return b;
+                    }
+                    if is_int(&b, 1) {
+                        return a;
+                    }
+                    if is_int(&a, 0) || is_int(&b, 0) {
+                        return Expr::Int(0);
+                    }
+                }
+                BinOp::Or => {
+                    if is_int(&a, 0) {
+                        return b;
+                    }
+                    if is_int(&b, 0) {
+                        return a;
+                    }
+                    if is_int(&a, 1) || is_int(&b, 1) {
+                        return Expr::Int(1);
+                    }
+                }
+                _ => {}
+            }
+            Expr::Bin { op: *op, a: Box::new(a), b: Box::new(b) }
+        }
+    }
+}
+
+/// Simplify a whole statement tree: fold expressions, remove constant-false
+/// branches, inline constant-true guards, drop zero-extent loops.
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Nop | Stmt::Barrier => s.clone(),
+        Stmt::Seq(v) => {
+            let body: Vec<Stmt> = v
+                .iter()
+                .map(simplify_stmt)
+                .filter(|s| !matches!(s, Stmt::Nop))
+                .collect();
+            match body.len() {
+                0 => Stmt::Nop,
+                1 => body.into_iter().next().unwrap(),
+                _ => Stmt::Seq(body),
+            }
+        }
+        Stmt::Store { buf, index, value } => Stmt::Store {
+            buf: buf.clone(),
+            index: simplify_expr(index),
+            value: simplify_expr(value),
+        },
+        Stmt::If { cond, then, els } => {
+            let c = simplify_expr(cond);
+            match c {
+                Expr::Int(0) => els.as_ref().map_or(Stmt::Nop, |e| simplify_stmt(e)),
+                Expr::Int(_) => simplify_stmt(then),
+                _ => Stmt::If {
+                    cond: c,
+                    then: Box::new(simplify_stmt(then)),
+                    els: els.as_ref().map(|e| Box::new(simplify_stmt(e))),
+                },
+            }
+        }
+        Stmt::For { var, extent, kind, body } => {
+            let ext = simplify_expr(extent);
+            if is_int(&ext, 0) {
+                return Stmt::Nop;
+            }
+            let b = simplify_stmt(body);
+            if matches!(b, Stmt::Nop) {
+                return Stmt::Nop;
+            }
+            Stmt::For { var: var.clone(), extent: ext, kind: *kind, body: Box::new(b) }
+        }
+        Stmt::Alloc { buf, size, scope, body } => {
+            let b = simplify_stmt(body);
+            if matches!(b, Stmt::Nop) {
+                return Stmt::Nop;
+            }
+            Stmt::Alloc {
+                buf: buf.clone(),
+                size: simplify_expr(size),
+                scope: *scope,
+                body: Box::new(b),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::LoopKind;
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = Expr::Int(3) * Expr::Int(4) + Expr::Int(5);
+        assert_eq!(simplify_expr(&e), Expr::Int(17));
+    }
+
+    #[test]
+    fn strips_additive_and_multiplicative_identities() {
+        let e = (Expr::var("i") * Expr::Int(1) + Expr::Int(0)) * Expr::Int(1);
+        assert_eq!(simplify_expr(&e), Expr::var("i"));
+    }
+
+    #[test]
+    fn multiply_by_zero_annihilates() {
+        let e = Expr::load("buf", Expr::var("i")) * Expr::Int(0);
+        assert_eq!(simplify_expr(&e), Expr::Int(0));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let guard = Expr::bin(BinOp::And, Expr::Int(1), Expr::lt(Expr::var("i"), Expr::Int(4)));
+        assert_eq!(simplify_expr(&guard), Expr::lt(Expr::var("i"), Expr::Int(4)));
+        let never = Expr::bin(BinOp::And, Expr::Int(0), Expr::var("x"));
+        assert_eq!(simplify_expr(&never), Expr::Int(0));
+    }
+
+    #[test]
+    fn constant_true_guard_inlines_body() {
+        let s = Stmt::if_(
+            Expr::lt(Expr::Int(2), Expr::Int(4)),
+            Stmt::store("o", Expr::Int(0), Expr::Float(1.0)),
+        );
+        assert!(matches!(simplify_stmt(&s), Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn constant_false_guard_erases_body() {
+        let s = Stmt::if_(
+            Expr::lt(Expr::Int(9), Expr::Int(4)),
+            Stmt::store("o", Expr::Int(0), Expr::Float(1.0)),
+        );
+        assert!(matches!(simplify_stmt(&s), Stmt::Nop));
+    }
+
+    #[test]
+    fn empty_loops_disappear() {
+        let s = Stmt::for_("i", 0usize, LoopKind::Serial, Stmt::store("o", Expr::Int(0), Expr::Float(1.0)));
+        assert!(matches!(simplify_stmt(&s), Stmt::Nop));
+        let s2 = Stmt::for_("i", 4usize, LoopKind::Serial, Stmt::Nop);
+        assert!(matches!(simplify_stmt(&s2), Stmt::Nop));
+    }
+
+    #[test]
+    fn select_on_constant_condition() {
+        let e = Expr::select(Expr::Int(1), Expr::var("a"), Expr::var("b"));
+        assert_eq!(simplify_expr(&e), Expr::var("a"));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics() {
+        use crate::compute::{Axis, Compute};
+        use crate::eval::Machine;
+        use crate::lower::lower;
+        use crate::schedule::Schedule;
+        // matmul with an imperfect split: guards and index arithmetic abound
+        let c = Compute::reduce_sum(
+            "c",
+            vec![Axis::new("i", 5), Axis::new("j", 7)],
+            vec![Axis::new("k", 3)],
+            Expr::load("a", Expr::var("i") * Expr::Int(3) + Expr::var("k"))
+                * Expr::load("b", Expr::var("k") * Expr::Int(7) + Expr::var("j")),
+            Expr::var("i") * Expr::Int(7) + Expr::var("j"),
+        );
+        let mut s = Schedule::default_for(&c);
+        s.split("i", 2).unwrap();
+        s.split("j", 4).unwrap();
+        let raw = lower(&c, &s);
+        let simp = simplify_stmt(&raw);
+        assert!(simp.node_count() <= raw.node_count(), "must never grow the tree");
+
+        let run = |stmt: &Stmt| {
+            let a: Vec<f64> = (0..15).map(|x| x as f64).collect();
+            let b: Vec<f64> = (0..21).map(|x| (x % 5) as f64).collect();
+            let mut m = Machine::new()
+                .with_buffer("a", a)
+                .with_buffer("b", b)
+                .with_buffer("c", vec![0.0; 35]);
+            m.run(stmt);
+            m.buffer("c").to_vec()
+        };
+        assert_eq!(run(&raw), run(&simp));
+    }
+}

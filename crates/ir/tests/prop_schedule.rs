@@ -1,0 +1,117 @@
+//! Property test: arbitrary legal schedule transformations never change what
+//! a compute evaluates to — the unified IR's core safety claim.
+
+use proptest::prelude::*;
+use unigpu_ir::compute::{Axis, Compute};
+use unigpu_ir::eval::Machine;
+use unigpu_ir::simplify::simplify_stmt;
+use unigpu_ir::{lower, Expr, LoopTag, Schedule};
+
+fn matmul(m: usize, n: usize, k: usize) -> Compute {
+    Compute::reduce_sum(
+        "c",
+        vec![Axis::new("i", m), Axis::new("j", n)],
+        vec![Axis::new("k", k)],
+        Expr::load("a", Expr::var("i") * Expr::from(k) + Expr::var("k"))
+            * Expr::load("b", Expr::var("k") * Expr::from(n) + Expr::var("j")),
+        Expr::var("i") * Expr::from(n) + Expr::var("j"),
+    )
+}
+
+fn run(c: &Compute, s: &Schedule, m: usize, n: usize, k: usize, simplify: bool) -> Vec<f64> {
+    let mut stmt = lower(c, s);
+    if simplify {
+        stmt = simplify_stmt(&stmt);
+    }
+    let a: Vec<f64> = (0..m * k).map(|x| ((x * 7) % 13) as f64 - 6.0).collect();
+    let b: Vec<f64> = (0..k * n).map(|x| ((x * 5) % 11) as f64 * 0.25).collect();
+    let mut mach = Machine::new()
+        .with_buffer("a", a)
+        .with_buffer("b", b)
+        .with_buffer("c", vec![0.0; m * n]);
+    mach.run(&stmt);
+    mach.buffer("c").to_vec()
+}
+
+/// A random sequence of schedule transformations applied to the matmul.
+#[derive(Debug, Clone)]
+enum Xform {
+    Split { axis: usize, factor: usize },
+    Unroll { axis: usize },
+    Vectorize { axis: usize },
+    BindThread { axis: usize },
+    SwapFirstTwo,
+}
+
+fn arb_xforms() -> impl Strategy<Value = Vec<Xform>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..3, 2usize..5).prop_map(|(axis, factor)| Xform::Split { axis, factor }),
+            (0usize..3).prop_map(|axis| Xform::Unroll { axis }),
+            (0usize..3).prop_map(|axis| Xform::Vectorize { axis }),
+            (0usize..2).prop_map(|axis| Xform::BindThread { axis }),
+            Just(Xform::SwapFirstTwo),
+        ],
+        0..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_schedules_preserve_matmul(
+        (m, n, k) in (2usize..7, 2usize..7, 1usize..6),
+        xforms in arb_xforms(),
+        simplify in any::<bool>(),
+    ) {
+        let c = matmul(m, n, k);
+        let base = run(&c, &Schedule::default_for(&c), m, n, k, false);
+
+        let mut s = Schedule::default_for(&c);
+        let mut bound_thread = false;
+        for x in xforms {
+            // Transforms may legitimately fail (unknown axis after renames,
+            // binding reductions); failures must leave the schedule usable.
+            match x {
+                Xform::Split { axis, factor } => {
+                    let name = s.loops().get(axis).map(|l| l.var.clone());
+                    if let Some(name) = name {
+                        let _ = s.split(&name, factor);
+                    }
+                }
+                Xform::Unroll { axis } => {
+                    let name = s.loops().get(axis).map(|l| l.var.clone());
+                    if let Some(name) = name {
+                        let _ = s.unroll(&name);
+                    }
+                }
+                Xform::Vectorize { axis } => {
+                    let name = s.loops().get(axis).map(|l| l.var.clone());
+                    if let Some(name) = name {
+                        let _ = s.vectorize(&name);
+                    }
+                }
+                Xform::BindThread { axis } => {
+                    if !bound_thread {
+                        let name = s.loops().get(axis).map(|l| l.var.clone());
+                        if let Some(name) = name {
+                            if s.bind(&name, LoopTag::ThreadIdx(0)).is_ok() {
+                                bound_thread = true;
+                            }
+                        }
+                    }
+                }
+                Xform::SwapFirstTwo => {
+                    let names: Vec<String> =
+                        s.loops().iter().take(2).map(|l| l.var.clone()).collect();
+                    if names.len() == 2 {
+                        let _ = s.reorder(&[&names[1], &names[0]]);
+                    }
+                }
+            }
+        }
+        let got = run(&c, &s, m, n, k, simplify);
+        prop_assert_eq!(got, base, "schedule {:?} diverged", s.loops());
+    }
+}

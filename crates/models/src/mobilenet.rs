@@ -1,0 +1,134 @@
+//! MobileNet v1 (Howard et al. 2017), GluonCV `mobilenet1.0`: depthwise-
+//! separable convolutions throughout. Depthwise layers are the workloads
+//! behind the paper's Intel-template observation (§4.2: "our depth-wise
+//! convolution has not been fully optimized for Intel Graphics").
+
+use crate::builder::ModelBuilder;
+use unigpu_graph::{Activation, Graph, NodeId};
+
+/// Depthwise-separable block: 3×3 depthwise + 1×1 pointwise, each with
+/// BN+ReLU.
+pub fn separable(
+    mb: &mut ModelBuilder,
+    x: NodeId,
+    out_ch: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    let in_ch = mb.shape(x).dim(1);
+    let dw = mb.conv_bn_act(
+        x,
+        in_ch,
+        3,
+        stride,
+        1,
+        in_ch, // groups = channels → depthwise
+        Activation::Relu,
+        &format!("{name}.dw"),
+    );
+    mb.conv_bn_act(dw, out_ch, 1, 1, 0, 1, Activation::Relu, &format!("{name}.pw"))
+}
+
+/// Build the MobileNet1.0 trunk; returns features at strides 8, 16, 32 for
+/// detector backbones.
+pub fn mobilenet_features(mb: &mut ModelBuilder, x: NodeId) -> (NodeId, NodeId, NodeId) {
+    let mut cur = mb.conv_bn_act(x, 32, 3, 2, 1, 1, Activation::Relu, "conv0");
+    // (out_channels, stride) per separable block, GluonCV order.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut stride8 = cur;
+    let mut stride16 = cur;
+    for (i, &(ch, s)) in blocks.iter().enumerate() {
+        cur = separable(mb, cur, ch, s, &format!("block{}", i + 1));
+        if i == 4 {
+            stride8 = cur; // last 256-channel map before the stride-16 drop
+        }
+        if i == 10 {
+            stride16 = cur; // last 512-channel map before the stride-32 drop
+        }
+    }
+    (stride8, stride16, cur)
+}
+
+/// Full MobileNet1.0 classifier.
+pub fn mobilenet(batch: usize, size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new("MobileNet1.0", 0x30b);
+    let x = mb.input([batch, 3, size, size], "data");
+    let (_, _, top) = mobilenet_features(&mut mb, x);
+    let gap = mb.global_avg_pool(top, "gap");
+    let flat = mb.flatten(gap, "flatten");
+    let fc = mb.dense(flat, classes, "fc");
+    let sm = mb.softmax(fc, "softmax");
+    mb.finish(vec![sm])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::Executor;
+    use unigpu_ops::ConvWorkload;
+    use unigpu_tensor::init::random_uniform;
+
+    #[test]
+    fn mobilenet_has_27_convs() {
+        // stem + 13 × (dw + pw) = 27
+        let g = mobilenet(1, 224, 1000);
+        assert_eq!(g.conv_count(), 27);
+    }
+
+    #[test]
+    fn half_the_convs_are_depthwise() {
+        let g = mobilenet(1, 224, 1000);
+        let dw = g
+            .nodes
+            .iter()
+            .filter(|n| match &n.op {
+                unigpu_graph::OpKind::Conv2d { w, .. } => w.is_depthwise(),
+                _ => false,
+            })
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn mobilenet_flops_are_canonical() {
+        // ~1.1 GFLOPs (2×0.57 GMACs) at 224².
+        let g = mobilenet(1, 224, 1000);
+        let gf = g.conv_flops() / 1e9;
+        assert!((0.9..1.4).contains(&gf), "MobileNet GFLOPs = {gf}");
+    }
+
+    #[test]
+    fn tiny_mobilenet_executes() {
+        let g = mobilenet(1, 32, 10);
+        let out = Executor.run(&g, &[random_uniform([1, 3, 32, 32], 1)]);
+        let s: f32 = out[0].as_f32().iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn depthwise_workloads_have_matching_groups() {
+        let g = mobilenet(1, 224, 1000);
+        for n in &g.nodes {
+            if let unigpu_graph::OpKind::Conv2d { w, .. } = &n.op {
+                if w.groups > 1 {
+                    let check: &ConvWorkload = w;
+                    assert!(check.is_depthwise(), "{}", n.name);
+                }
+            }
+        }
+    }
+}

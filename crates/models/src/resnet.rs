@@ -1,0 +1,118 @@
+//! ResNet50 v1 (He et al. 2016), following the GluonCV `resnet50_v1`
+//! layout: bottleneck residual units in four stages of [3, 4, 6, 3].
+
+use crate::builder::ModelBuilder;
+use unigpu_graph::{Activation, Graph, NodeId};
+
+/// One bottleneck unit: 1×1 reduce → 3×3 → 1×1 expand, with a projection
+/// shortcut when shape changes.
+fn bottleneck(
+    mb: &mut ModelBuilder,
+    x: NodeId,
+    mid: usize,
+    out: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    let in_ch = mb.shape(x).dim(1);
+    let c1 = mb.conv_bn_act(x, mid, 1, 1, 0, 1, Activation::Relu, &format!("{name}.conv1"));
+    let c2 = mb.conv_bn_act(c1, mid, 3, stride, 1, 1, Activation::Relu, &format!("{name}.conv2"));
+    let c3 = mb.conv_bn_act(c2, out, 1, 1, 0, 1, Activation::None, &format!("{name}.conv3"));
+    let shortcut = if in_ch != out || stride != 1 {
+        mb.conv_bn_act(x, out, 1, stride, 0, 1, Activation::None, &format!("{name}.downsample"))
+    } else {
+        x
+    };
+    let s = mb.add(c3, shortcut, &format!("{name}.sum"));
+    mb.act(s, Activation::Relu, &format!("{name}.relu"))
+}
+
+/// Build the ResNet50 v1 trunk, returning the stage outputs
+/// (strides 4, 8, 16, 32 relative to the input) for detector backbones.
+pub fn resnet50_features(mb: &mut ModelBuilder, x: NodeId) -> Vec<NodeId> {
+    let c1 = mb.conv_bn_act(x, 64, 7, 2, 3, 1, Activation::Relu, "conv1");
+    let p1 = mb.max_pool(c1, 3, 2, 1, "pool1");
+
+    let stage_cfg: [(usize, usize, usize, usize); 4] = [
+        // (units, mid, out, first stride)
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    let mut outs = Vec::new();
+    let mut cur = p1;
+    for (si, &(units, mid, out, stride)) in stage_cfg.iter().enumerate() {
+        for u in 0..units {
+            let s = if u == 0 { stride } else { 1 };
+            cur = bottleneck(mb, cur, mid, out, s, &format!("stage{}.unit{}", si + 1, u + 1));
+        }
+        outs.push(cur);
+    }
+    outs
+}
+
+/// Full ResNet50 v1 classifier.
+pub fn resnet50(batch: usize, size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new("ResNet50_v1", 0x5e5);
+    let x = mb.input([batch, 3, size, size], "data");
+    let feats = resnet50_features(&mut mb, x);
+    let gap = mb.global_avg_pool(*feats.last().unwrap(), "gap");
+    let flat = mb.flatten(gap, "flatten");
+    let fc = mb.dense(flat, classes, "fc");
+    let sm = mb.softmax(fc, "softmax");
+    mb.finish(vec![sm])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::Executor;
+    use unigpu_tensor::init::random_uniform;
+
+    #[test]
+    fn resnet50_has_53_convs() {
+        // 1 stem + (3+4+6+3) units × 3 convs + 4 downsample projections = 53
+        let g = resnet50(1, 224, 1000);
+        assert_eq!(g.conv_count(), 53);
+    }
+
+    #[test]
+    fn resnet50_shapes_at_224() {
+        let g = resnet50(1, 224, 1000);
+        let shapes = g.infer_shapes();
+        let out = &shapes[*g.outputs.first().unwrap()];
+        assert_eq!(out.dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn resnet50_flop_count_is_canonical() {
+        // ~8.2 GFLOPs (2×4.1 GMACs) at 224² — sanity-check within 15 %.
+        let g = resnet50(1, 224, 1000);
+        let gf = g.conv_flops() / 1e9;
+        assert!((7.0..9.0).contains(&gf), "ResNet50 GFLOPs = {gf}");
+    }
+
+    #[test]
+    fn tiny_resnet_executes_and_sums_to_one() {
+        // 32-pixel input keeps the functional test fast on one core.
+        let g = resnet50(1, 32, 10);
+        let x = random_uniform([1, 3, 32, 32], 5);
+        let out = Executor.run(&g, &[x]);
+        let probs = out[0].as_f32();
+        assert_eq!(probs.len(), 10);
+        let s: f32 = probs.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn residual_shortcut_only_projects_on_shape_change() {
+        let g = resnet50(1, 224, 1000);
+        let downsamples = g
+            .nodes
+            .iter()
+            .filter(|n| n.name.contains("downsample") && n.op.name() == "conv2d")
+            .count();
+        assert_eq!(downsamples, 4, "one projection per stage entry");
+    }
+}

@@ -1,0 +1,154 @@
+//! SSD (Liu et al. 2016) detectors over MobileNet1.0 and ResNet50 backbones
+//! — GluonCV `ssd_512_mobilenet1.0_voc` / `ssd_512_resnet50_v1_voc` (and the
+//! 300² variant the paper uses on Acer aiSage for memory reasons, §4.2).
+
+use crate::builder::ModelBuilder;
+use crate::mobilenet::mobilenet_features;
+use crate::resnet::resnet50_features;
+use unigpu_graph::{Activation, Graph, NodeId, OpKind};
+use unigpu_ops::vision::multibox::MultiboxConfig;
+
+/// Per-feature-map anchor configuration (SSD scale progression).
+fn anchor_params(n_maps: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    // sizes: s_k and sqrt(s_k·s_{k+1}); ratios 1,2,0.5 (+3,1/3 mid maps)
+    let (s_min, s_max) = (0.1f32, 0.95f32);
+    (0..n_maps)
+        .map(|k| {
+            let sk = s_min + (s_max - s_min) * k as f32 / (n_maps - 1).max(1) as f32;
+            let sk1 = s_min + (s_max - s_min) * (k + 1) as f32 / (n_maps - 1).max(1) as f32;
+            let sizes = vec![sk, (sk * sk1).sqrt()];
+            let ratios = if (1..n_maps - 1).contains(&k) {
+                vec![1.0, 2.0, 0.5, 3.0, 1.0 / 3.0]
+            } else {
+                vec![1.0, 2.0, 0.5]
+            };
+            (sizes, ratios)
+        })
+        .collect()
+}
+
+/// Attach SSD extra layers + prediction heads + decode to backbone features.
+fn ssd_head(
+    mb: &mut ModelBuilder,
+    mut features: Vec<NodeId>,
+    classes: usize,
+    extra_blocks: usize,
+) -> NodeId {
+    // Extra feature layers: 1×1 reduce then 3×3 stride-2.
+    let mut cur = *features.last().unwrap();
+    for i in 0..extra_blocks {
+        let ch = mb.shape(cur).dim(1).min(512).max(128);
+        let r = mb.conv_bn_act(cur, ch / 2, 1, 1, 0, 1, Activation::Relu, &format!("extra{i}.reduce"));
+        // stop shrinking once the map is tiny
+        let (_, _, h, _) = mb.shape(r).nchw();
+        let stride = if h >= 3 { 2 } else { 1 };
+        cur = mb.conv_bn_act(r, ch, 3, stride, 1, 1, Activation::Relu, &format!("extra{i}.conv"));
+        features.push(cur);
+    }
+
+    let params = anchor_params(features.len());
+    let mut cls_flat = Vec::new();
+    let mut loc_flat = Vec::new();
+    let mut anchor_nodes = Vec::new();
+    for (i, (&f, (sizes, ratios))) in features.iter().zip(&params).enumerate() {
+        let a = sizes.len() + ratios.len() - 1;
+        let cls = mb.conv(f, a * (classes + 1), 3, 1, 1, 1, &format!("head{i}.cls"));
+        let loc = mb.conv(f, a * 4, 3, 1, 1, 1, &format!("head{i}.loc"));
+        cls_flat.push(mb.op(OpKind::FlattenHead, vec![cls], &format!("head{i}.cls_flat")));
+        loc_flat.push(mb.op(OpKind::FlattenHead, vec![loc], &format!("head{i}.loc_flat")));
+        anchor_nodes.push(mb.op(
+            OpKind::MultiboxPrior { sizes: sizes.clone(), ratios: ratios.clone() },
+            vec![f],
+            &format!("head{i}.anchors"),
+        ));
+    }
+    let cls_all = mb.op(OpKind::ConcatFlat, cls_flat, "cls_concat");
+    let loc_all = mb.op(OpKind::ConcatFlat, loc_flat, "loc_concat");
+    let probs = mb.op(OpKind::ClsProbs { classes }, vec![cls_all], "cls_probs");
+    let anchors = mb.op(OpKind::ConcatAnchors, anchor_nodes, "anchors_concat");
+    mb.op(
+        OpKind::MultiboxDetection { cfg: MultiboxConfig::default() },
+        vec![probs, loc_all, anchors],
+        "detection",
+    )
+}
+
+/// SSD with a MobileNet1.0 backbone.
+pub fn ssd_mobilenet(size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new("SSD_MobileNet1.0", 0x55d0);
+    let x = mb.input([1, 3, size, size], "data");
+    let (f8, f16, f32_) = mobilenet_features(&mut mb, x);
+    let det = ssd_head(&mut mb, vec![f8, f16, f32_], classes, 3);
+    mb.finish(vec![det])
+}
+
+/// SSD with a ResNet50 v1 backbone.
+pub fn ssd_resnet50(size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new("SSD_ResNet50", 0x55d1);
+    let x = mb.input([1, 3, size, size], "data");
+    let feats = resnet50_features(&mut mb, x);
+    // stages at strides 8, 16 and 32 feed the head (SSD's finest map is
+    // stride-8, which is where most of the ~24k anchors of SSD512 live)
+    let det = ssd_head(&mut mb, vec![feats[1], feats[2], feats[3]], classes, 3);
+    mb.finish(vec![det])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::Executor;
+    use unigpu_tensor::init::random_uniform;
+
+    #[test]
+    fn ssd_mobilenet_structure() {
+        let g = ssd_mobilenet(512, 20);
+        // 27 backbone + 6 extra + 2 heads × 6 maps = 45
+        assert_eq!(g.conv_count(), 45);
+        assert!(g.nodes.iter().any(|n| n.op.is_vision_control()));
+        let shapes = g.infer_shapes();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.dims()[2], 6, "detection rows are (cls, score, box)");
+    }
+
+    #[test]
+    fn ssd_resnet_structure() {
+        let g = ssd_resnet50(512, 20);
+        assert_eq!(g.conv_count(), 53 + 6 + 12);
+        let shapes = g.infer_shapes();
+        let anchors = shapes[g.outputs[0]].dim(1);
+        assert!(
+            (20_000..30_000).contains(&anchors),
+            "SSD512 has ~24k anchors, got {anchors}"
+        );
+    }
+
+    #[test]
+    fn aisage_300_variant_builds() {
+        // the paper reduces aiSage SSD input to 300² (§4.2)
+        let g = ssd_mobilenet(300, 20);
+        let shapes = g.infer_shapes();
+        let n512 = {
+            let g = ssd_mobilenet(512, 20);
+            let s = g.infer_shapes();
+            s[g.outputs[0]].dim(1)
+        };
+        assert!(shapes[g.outputs[0]].dim(1) < n512, "300² yields fewer anchors");
+    }
+
+    #[test]
+    fn tiny_ssd_executes_end_to_end() {
+        let g = ssd_mobilenet(64, 3);
+        let out = Executor.run(&g, &[random_uniform([1, 3, 64, 64], 3)]);
+        let d = out[0].shape().dims();
+        assert_eq!(d[0], 1);
+        assert_eq!(d[2], 6);
+        // every row is either invalid (-1) or a well-formed detection
+        let v = out[0].as_f32();
+        for r in v.chunks(6) {
+            if r[0] >= 0.0 {
+                assert!(r[1] > 0.0 && r[1] <= 1.0, "score in (0,1]: {}", r[1]);
+                assert!((r[0] as usize) < 3);
+            }
+        }
+    }
+}

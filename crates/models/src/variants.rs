@@ -1,0 +1,160 @@
+//! Model-family variants. §4.1: "These models all have multiple variants
+//! (e.g. ResNet-18, ResNet-50, etc. ...) to form a model family. For the
+//! sake of space, we only evaluate our solution on one variant of each model
+//! family. Performance comparison result of one model is similar to its
+//! variants of the same family." This module provides the other variants so
+//! downstream users are not limited to the evaluated ones.
+
+use crate::builder::ModelBuilder;
+use unigpu_graph::{Activation, Graph, NodeId};
+
+/// Basic (two 3×3) residual unit for ResNet-18/34.
+fn basic_block(mb: &mut ModelBuilder, x: NodeId, out: usize, stride: usize, name: &str) -> NodeId {
+    let in_ch = mb.shape(x).dim(1);
+    let c1 = mb.conv_bn_act(x, out, 3, stride, 1, 1, Activation::Relu, &format!("{name}.conv1"));
+    let c2 = mb.conv_bn_act(c1, out, 3, 1, 1, 1, Activation::None, &format!("{name}.conv2"));
+    let shortcut = if in_ch != out || stride != 1 {
+        mb.conv_bn_act(x, out, 1, stride, 0, 1, Activation::None, &format!("{name}.downsample"))
+    } else {
+        x
+    };
+    let s = mb.add(c2, shortcut, &format!("{name}.sum"));
+    mb.act(s, Activation::Relu, &format!("{name}.relu"))
+}
+
+fn resnet_basic(name: &str, units: [usize; 4], batch: usize, size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new(name, 0x5e50 ^ units[1] as u64);
+    let x = mb.input([batch, 3, size, size], "data");
+    let c1 = mb.conv_bn_act(x, 64, 7, 2, 3, 1, Activation::Relu, "conv1");
+    let mut cur = mb.max_pool(c1, 3, 2, 1, "pool1");
+    let channels = [64usize, 128, 256, 512];
+    for (si, (&n_units, &ch)) in units.iter().zip(&channels).enumerate() {
+        for u in 0..n_units {
+            let stride = if u == 0 && si > 0 { 2 } else { 1 };
+            cur = basic_block(&mut mb, cur, ch, stride, &format!("stage{}.unit{}", si + 1, u + 1));
+        }
+    }
+    let gap = mb.global_avg_pool(cur, "gap");
+    let flat = mb.flatten(gap, "flatten");
+    let fc = mb.dense(flat, classes, "fc");
+    let sm = mb.softmax(fc, "softmax");
+    mb.finish(vec![sm])
+}
+
+/// ResNet-18 v1.
+pub fn resnet18(batch: usize, size: usize, classes: usize) -> Graph {
+    resnet_basic("ResNet18_v1", [2, 2, 2, 2], batch, size, classes)
+}
+
+/// ResNet-34 v1.
+pub fn resnet34(batch: usize, size: usize, classes: usize) -> Graph {
+    resnet_basic("ResNet34_v1", [3, 4, 6, 3], batch, size, classes)
+}
+
+/// MobileNet v1 with a width multiplier (`alpha`), e.g. `mobilenet_alpha(0.5,..)`
+/// = `mobilenet0.5`.
+pub fn mobilenet_alpha(alpha: f32, batch: usize, size: usize, classes: usize) -> Graph {
+    assert!(alpha > 0.0 && alpha <= 1.0, "width multiplier in (0, 1]");
+    let scale = |ch: usize| ((ch as f32 * alpha).round() as usize).max(8);
+    let mut mb = ModelBuilder::new(format!("MobileNet{alpha}"), 0x30b5);
+    let x = mb.input([batch, 3, size, size], "data");
+    let mut cur = mb.conv_bn_act(x, scale(32), 3, 2, 1, 1, Activation::Relu, "conv0");
+    let blocks: [(usize, usize); 13] = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+    ];
+    for (i, &(ch, s)) in blocks.iter().enumerate() {
+        cur = crate::mobilenet::separable(&mut mb, cur, scale(ch), s, &format!("block{}", i + 1));
+    }
+    let gap = mb.global_avg_pool(cur, "gap");
+    let flat = mb.flatten(gap, "flatten");
+    let fc = mb.dense(flat, classes, "fc");
+    let sm = mb.softmax(fc, "softmax");
+    mb.finish(vec![sm])
+}
+
+/// SqueezeNet 1.1 — same accuracy as 1.0 with ~2.4× less compute (3×3 stem,
+/// earlier pooling).
+pub fn squeezenet_v11(batch: usize, size: usize, classes: usize) -> Graph {
+    let mut mb = ModelBuilder::new("SqueezeNet1.1", 0x511);
+    let x = mb.input([batch, 3, size, size], "data");
+    let c1 = mb.conv_bn_act(x, 64, 3, 2, 1, 1, Activation::Relu, "conv1");
+    let p1 = mb.max_pool(c1, 3, 2, 0, "pool1");
+    let fire = |mb: &mut ModelBuilder, x, s, e, name: &str| {
+        let sq = mb.conv_bn_act(x, s, 1, 1, 0, 1, Activation::Relu, &format!("{name}.squeeze"));
+        let e1 = mb.conv_bn_act(sq, e, 1, 1, 0, 1, Activation::Relu, &format!("{name}.expand1x1"));
+        let e3 = mb.conv_bn_act(sq, e, 3, 1, 1, 1, Activation::Relu, &format!("{name}.expand3x3"));
+        mb.concat(vec![e1, e3], &format!("{name}.concat"))
+    };
+    let f2 = fire(&mut mb, p1, 16, 64, "fire2");
+    let f3 = fire(&mut mb, f2, 16, 64, "fire3");
+    let p3 = mb.max_pool(f3, 3, 2, 0, "pool3");
+    let f4 = fire(&mut mb, p3, 32, 128, "fire4");
+    let f5 = fire(&mut mb, f4, 32, 128, "fire5");
+    let p5 = mb.max_pool(f5, 3, 2, 0, "pool5");
+    let f6 = fire(&mut mb, p5, 48, 192, "fire6");
+    let f7 = fire(&mut mb, f6, 48, 192, "fire7");
+    let f8 = fire(&mut mb, f7, 64, 256, "fire8");
+    let f9 = fire(&mut mb, f8, 64, 256, "fire9");
+    let c10 = mb.conv_bn_act(f9, classes, 1, 1, 0, 1, Activation::Relu, "conv10");
+    let gap = mb.global_avg_pool(c10, "gap");
+    let flat = mb.flatten(gap, "flatten");
+    let sm = mb.softmax(flat, "softmax");
+    mb.finish(vec![sm])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::Executor;
+    use unigpu_tensor::init::random_uniform;
+
+    #[test]
+    fn resnet18_has_20_convs() {
+        // stem + 8 blocks × 2 + 3 downsamples = 20
+        assert_eq!(resnet18(1, 224, 1000).conv_count(), 20);
+    }
+
+    #[test]
+    fn resnet34_has_39_convs() {
+        // stem + 16 blocks × 2 + 3 downsamples = 36... count: 1 + 32 + 3
+        assert_eq!(resnet34(1, 224, 1000).conv_count(), 36);
+    }
+
+    #[test]
+    fn family_ordering_by_flops() {
+        let f18 = resnet18(1, 224, 10).conv_flops();
+        let f34 = resnet34(1, 224, 10).conv_flops();
+        let f50 = crate::resnet50(1, 224, 10).conv_flops();
+        assert!(f18 < f34 && f34 < f50, "{f18} {f34} {f50}");
+    }
+
+    #[test]
+    fn mobilenet_alpha_scales_parameters() {
+        use unigpu_graph::parameter_count;
+        let full = mobilenet_alpha(1.0, 1, 64, 10);
+        let half = mobilenet_alpha(0.5, 1, 64, 10);
+        assert!(parameter_count(&half) < parameter_count(&full) / 2);
+    }
+
+    #[test]
+    fn squeezenet_v11_is_cheaper_than_v10() {
+        let v0 = crate::squeezenet(1, 224, 100).conv_flops();
+        let v1 = squeezenet_v11(1, 224, 100).conv_flops();
+        assert!(v1 < v0 / 1.8, "v1.1 {v1} should be ~2.4x cheaper than v1.0 {v0}");
+    }
+
+    #[test]
+    fn variants_execute() {
+        for g in [
+            resnet18(1, 32, 5),
+            mobilenet_alpha(0.25, 1, 32, 5),
+            squeezenet_v11(1, 64, 5),
+        ] {
+            let size = g.infer_shapes()[0].dim(2);
+            let out = Executor.run(&g, &[random_uniform([1, 3, size, size], 9)]);
+            let s: f32 = out[0].as_f32().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "{}", g.name);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! YOLOv3 (Redmon & Farhadi 2018) with the Darknet-53 backbone — GluonCV
+//! `yolo3_darknet53`. Three detection scales with upsample-and-concat
+//! feature routing; leaky-ReLU activations throughout.
+
+use crate::builder::ModelBuilder;
+use unigpu_graph::{Activation, Graph, NodeId, OpKind};
+use unigpu_ops::vision::nms::NmsConfig;
+
+const LEAKY: Activation = Activation::LeakyRelu(0.1);
+
+/// Darknet residual unit: 1×1 halve → 3×3 restore → add.
+fn dark_unit(mb: &mut ModelBuilder, x: NodeId, ch: usize, name: &str) -> NodeId {
+    let c1 = mb.conv_bn_act(x, ch / 2, 1, 1, 0, 1, LEAKY, &format!("{name}.conv1"));
+    let c2 = mb.conv_bn_act(c1, ch, 3, 1, 1, 1, LEAKY, &format!("{name}.conv2"));
+    mb.add(c2, x, &format!("{name}.sum"))
+}
+
+/// Darknet-53 trunk; returns features at strides 8, 16, 32.
+pub fn darknet53_features(mb: &mut ModelBuilder, x: NodeId) -> [NodeId; 3] {
+    let mut cur = mb.conv_bn_act(x, 32, 3, 1, 1, 1, LEAKY, "conv0");
+    let stages: [(usize, usize); 5] = [(64, 1), (128, 2), (256, 8), (512, 8), (1024, 4)];
+    let mut taps = Vec::new();
+    for (si, &(ch, units)) in stages.iter().enumerate() {
+        cur = mb.conv_bn_act(cur, ch, 3, 2, 1, 1, LEAKY, &format!("stage{si}.down"));
+        for u in 0..units {
+            cur = dark_unit(mb, cur, ch, &format!("stage{si}.unit{u}"));
+        }
+        if si >= 2 {
+            taps.push(cur);
+        }
+    }
+    [taps[0], taps[1], taps[2]] // strides 8, 16, 32
+}
+
+/// YOLO neck block: five alternating 1×1/3×3 convs; returns (route, branch).
+fn yolo_block(mb: &mut ModelBuilder, x: NodeId, ch: usize, name: &str) -> (NodeId, NodeId) {
+    let mut cur = x;
+    for i in 0..2 {
+        cur = mb.conv_bn_act(cur, ch, 1, 1, 0, 1, LEAKY, &format!("{name}.c{}a", i));
+        cur = mb.conv_bn_act(cur, ch * 2, 3, 1, 1, 1, LEAKY, &format!("{name}.c{}b", i));
+    }
+    let route = mb.conv_bn_act(cur, ch, 1, 1, 0, 1, LEAKY, &format!("{name}.route"));
+    let branch = mb.conv_bn_act(route, ch * 2, 3, 1, 1, 1, LEAKY, &format!("{name}.branch"));
+    (route, branch)
+}
+
+/// Canonical COCO anchors (pixels at 416² — scale-invariant here since we
+/// decode in input pixels).
+fn yolo_anchors() -> Vec<Vec<(f32, f32)>> {
+    vec![
+        // stride 32 (large objects)
+        vec![(116.0, 90.0), (156.0, 198.0), (373.0, 326.0)],
+        // stride 16
+        vec![(30.0, 61.0), (62.0, 45.0), (59.0, 119.0)],
+        // stride 8
+        vec![(10.0, 13.0), (16.0, 30.0), (33.0, 23.0)],
+    ]
+}
+
+/// Full YOLOv3 detector. `size` must be divisible by 32.
+pub fn yolov3(size: usize, classes: usize) -> Graph {
+    assert_eq!(size % 32, 0, "YOLOv3 input must be a multiple of 32");
+    let mut mb = ModelBuilder::new("Yolov3", 0x3010);
+    let x = mb.input([1, 3, size, size], "data");
+    let [f8, f16, f32_] = darknet53_features(&mut mb, x);
+
+    // scale 1 (stride 32)
+    let (r1, b1) = yolo_block(&mut mb, f32_, 512, "yolo1");
+    let out_ch = 3 * (5 + classes);
+    let p1 = mb.conv(b1, out_ch, 1, 1, 0, 1, "yolo1.pred");
+
+    // scale 2 (stride 16): route ↑2 ⧺ f16
+    let u1 = mb.conv_bn_act(r1, 256, 1, 1, 0, 1, LEAKY, "yolo2.reduce");
+    let up1 = mb.upsample(u1, 2, "yolo2.up");
+    let cat1 = mb.concat(vec![up1, f16], "yolo2.concat");
+    let (r2, b2) = yolo_block(&mut mb, cat1, 256, "yolo2");
+    let p2 = mb.conv(b2, out_ch, 1, 1, 0, 1, "yolo2.pred");
+
+    // scale 3 (stride 8)
+    let u2 = mb.conv_bn_act(r2, 128, 1, 1, 0, 1, LEAKY, "yolo3.reduce");
+    let up2 = mb.upsample(u2, 2, "yolo3.up");
+    let cat2 = mb.concat(vec![up2, f8], "yolo3.concat");
+    let (_r3, b3) = yolo_block(&mut mb, cat2, 128, "yolo3");
+    let p3 = mb.conv(b3, out_ch, 1, 1, 0, 1, "yolo3.pred");
+
+    let det = mb.op(
+        OpKind::YoloDetect {
+            anchors: yolo_anchors(),
+            strides: vec![32, 16, 8],
+            classes,
+            conf: 0.3,
+            nms: NmsConfig { iou_threshold: 0.45, valid_thresh: 0.3, topk: Some(400), force_suppress: false },
+        },
+        vec![p1, p2, p3],
+        "yolo_detect",
+    );
+    mb.finish(vec![det])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::Executor;
+    use unigpu_tensor::init::random_uniform;
+
+    #[test]
+    fn darknet53_plus_heads_conv_count() {
+        let g = yolov3(416, 80);
+        // Darknet-53 trunk has 52 convs; neck/heads add 3×(5+1+1) + 2 reduces
+        let convs = g.conv_count();
+        assert!(convs > 70, "YOLOv3 should have 70+ convs, got {convs}");
+        assert!(g.nodes.iter().any(|n| n.op.is_vision_control()));
+    }
+
+    #[test]
+    fn trunk_alone_has_52_convs() {
+        let mut mb = ModelBuilder::new("darknet", 1);
+        let x = mb.input([1, 3, 416, 416], "x");
+        let _ = darknet53_features(&mut mb, x);
+        let g = mb.finish(vec![]);
+        // 1 stem + 5 downsamples + (1+2+8+8+4) × 2 = 52
+        assert_eq!(g.conv_count(), 52);
+    }
+
+    #[test]
+    fn yolo_flops_dwarf_classifiers() {
+        let g = yolov3(416, 80);
+        let gf = g.conv_flops() / 1e9;
+        assert!(gf > 30.0, "YOLOv3 is ~65 GFLOPs at 416²: {gf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn indivisible_input_rejected() {
+        yolov3(300, 80);
+    }
+
+    #[test]
+    fn tiny_yolo_executes() {
+        let g = yolov3(64, 4);
+        let out = Executor.run(&g, &[random_uniform([1, 3, 64, 64], 4)]);
+        assert_eq!(out[0].shape().dims()[2], 6);
+    }
+
+    #[test]
+    fn three_scales_with_upsampling() {
+        let g = yolov3(416, 80);
+        let ups = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::UpsampleNearest { .. }))
+            .count();
+        assert_eq!(ups, 2);
+        let shapes = g.infer_shapes();
+        let preds: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.name.ends_with(".pred"))
+            .map(|(i, _)| shapes[i].dim(2))
+            .collect();
+        assert_eq!(preds, vec![13, 26, 52], "feature maps at strides 32/16/8");
+    }
+}

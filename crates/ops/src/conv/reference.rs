@@ -1,0 +1,193 @@
+//! Direct (naive-order) convolution — the functional ground truth every
+//! schedule variant must reproduce exactly.
+//!
+//! The reduction order is fixed as `(ic_in_group, kh, kw)`; the spatial-pack
+//! template keeps the same order so results are bit-identical (floating-point
+//! addition is not associative, so this is the only way "schedules never
+//! change results" can hold exactly rather than approximately).
+
+use crate::workload::ConvWorkload;
+use rayon::prelude::*;
+use unigpu_tensor::Tensor;
+
+/// 2-d convolution over `NCHW` data with `OIHW` weights, zero padding,
+/// arbitrary stride and channel groups.
+///
+/// # Panics
+/// Panics if tensor shapes disagree with the workload.
+pub fn conv2d_ref(data: &Tensor, weight: &Tensor, w: &ConvWorkload) -> Tensor {
+    assert_eq!(data.shape().dims(), w.input_shape(), "input shape mismatch");
+    assert_eq!(weight.shape().dims(), w.weight_shape(), "weight shape mismatch");
+    let (oh, ow) = (w.out_h(), w.out_w());
+    let (ih, iw) = (w.height, w.width);
+    let icg = w.in_ch_per_group();
+    let ocg = w.out_ch_per_group();
+    let x = data.as_f32();
+    let k = weight.as_f32();
+
+    let mut out = Tensor::zeros(w.output_shape());
+    let out_plane = oh * ow;
+    // One Rayon task per (n, oc) output plane: planes are disjoint.
+    out.as_f32_mut()
+        .par_chunks_mut(out_plane)
+        .enumerate()
+        .for_each(|(plane, o)| {
+            let n = plane / w.out_channels;
+            let oc = plane % w.out_channels;
+            let g = oc / ocg;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..icg {
+                        let c = g * icg + ic;
+                        for khi in 0..w.kernel_h {
+                            let hi = (ohi * w.stride_h + khi) as isize - w.pad_h as isize;
+                            if hi < 0 || hi >= ih as isize {
+                                continue;
+                            }
+                            for kwi in 0..w.kernel_w {
+                                let wi = (owi * w.stride_w + kwi) as isize - w.pad_w as isize;
+                                if wi < 0 || wi >= iw as isize {
+                                    continue;
+                                }
+                                let xv = x[((n * w.in_channels + c) * ih + hi as usize) * iw
+                                    + wi as usize];
+                                let kv = k[((oc * icg + ic) * w.kernel_h + khi) * w.kernel_w + kwi];
+                                acc += xv * kv;
+                            }
+                        }
+                    }
+                    o[ohi * ow + owi] = acc;
+                }
+            }
+        });
+    out
+}
+
+/// Depthwise convolution (`groups == channels`), a thin wrapper that asserts
+/// the workload really is depthwise.
+pub fn depthwise_conv2d_ref(data: &Tensor, weight: &Tensor, w: &ConvWorkload) -> Tensor {
+    assert!(w.is_depthwise(), "workload {w} is not depthwise");
+    conv2d_ref(data, weight, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_tensor::init::random_uniform;
+
+    /// Scalar re-derivation with no loop tricks at all, for cross-checking.
+    fn conv_scalar(data: &Tensor, weight: &Tensor, w: &ConvWorkload) -> Tensor {
+        let mut out = Tensor::zeros(w.output_shape());
+        let icg = w.in_ch_per_group();
+        let ocg = w.out_ch_per_group();
+        for n in 0..w.batch {
+            for oc in 0..w.out_channels {
+                for ohi in 0..w.out_h() {
+                    for owi in 0..w.out_w() {
+                        let mut acc = 0.0f32;
+                        for ic in 0..icg {
+                            for khi in 0..w.kernel_h {
+                                for kwi in 0..w.kernel_w {
+                                    let hi = ohi as isize * w.stride_h as isize + khi as isize
+                                        - w.pad_h as isize;
+                                    let wi = owi as isize * w.stride_w as isize + kwi as isize
+                                        - w.pad_w as isize;
+                                    if hi >= 0
+                                        && hi < w.height as isize
+                                        && wi >= 0
+                                        && wi < w.width as isize
+                                    {
+                                        let c = (oc / ocg) * icg + ic;
+                                        acc += data.at(&[n, c, hi as usize, wi as usize])
+                                            * weight.at(&[oc, ic, khi, kwi]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[n, oc, ohi, owi], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_scalar_rederivation() {
+        let w = ConvWorkload::square(2, 3, 8, 9, 3, 1, 1);
+        let data = random_uniform(w.input_shape(), 1);
+        let wt = random_uniform(w.weight_shape(), 2);
+        assert_eq!(conv2d_ref(&data, &wt, &w), conv_scalar(&data, &wt, &w));
+    }
+
+    #[test]
+    fn stride_and_pad_combinations() {
+        for (k, s, p) in [(1, 1, 0), (3, 2, 1), (5, 1, 2), (7, 2, 3), (3, 1, 0)] {
+            let w = ConvWorkload::square(1, 4, 6, 16, k, s, p);
+            let data = random_uniform(w.input_shape(), 3);
+            let wt = random_uniform(w.weight_shape(), 4);
+            assert_eq!(
+                conv2d_ref(&data, &wt, &w),
+                conv_scalar(&data, &wt, &w),
+                "k={k} s={s} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        // 1x1 kernel with identity channel mixing copies the input.
+        let w = ConvWorkload::square(1, 3, 3, 5, 1, 1, 0);
+        let data = random_uniform(w.input_shape(), 5);
+        let mut wt = Tensor::zeros(w.weight_shape());
+        for c in 0..3 {
+            wt.set(&[c, c, 0, 0], 1.0);
+        }
+        assert_eq!(conv2d_ref(&data, &wt, &w), data);
+    }
+
+    #[test]
+    fn grouped_conv_blocks_cross_group_flow() {
+        // 2 groups: output group 0 must ignore input channels of group 1.
+        let mut w = ConvWorkload::square(1, 4, 4, 4, 1, 1, 0);
+        w.groups = 2;
+        let mut data = Tensor::zeros(w.input_shape());
+        // put energy only in input channel 3 (group 1)
+        for h in 0..4 {
+            for x in 0..4 {
+                data.set(&[0, 3, h, x], 1.0);
+            }
+        }
+        let wt = Tensor::full(w.weight_shape(), 1.0);
+        let out = conv2d_ref(&data, &wt, &w);
+        // output channels 0,1 (group 0) see nothing
+        for oc in 0..2 {
+            for h in 0..4 {
+                for x in 0..4 {
+                    assert_eq!(out.at(&[0, oc, h, x]), 0.0);
+                }
+            }
+        }
+        // output channels 2,3 (group 1) see channel 3
+        assert_eq!(out.at(&[0, 2, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn depthwise_is_per_channel() {
+        let w = ConvWorkload::depthwise(1, 3, 6, 3, 1, 1);
+        let data = random_uniform(w.input_shape(), 7);
+        let wt = random_uniform(w.weight_shape(), 8);
+        let out = depthwise_conv2d_ref(&data, &wt, &w);
+        assert_eq!(out, conv_scalar(&data, &wt, &w));
+    }
+
+    #[test]
+    #[should_panic(expected = "not depthwise")]
+    fn depthwise_wrapper_rejects_dense() {
+        let w = ConvWorkload::square(1, 4, 4, 4, 3, 1, 1);
+        let data = random_uniform(w.input_shape(), 1);
+        let wt = random_uniform(w.weight_shape(), 2);
+        depthwise_conv2d_ref(&data, &wt, &w);
+    }
+}

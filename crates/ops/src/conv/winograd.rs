@@ -1,0 +1,262 @@
+//! Winograd fast convolution F(2×2, 3×3).
+//!
+//! The vendor baselines (cuDNN/clDNN) owe part of their classic-shape edge
+//! to Winograd kernels, which compute a 2×2 output tile of a 3×3 stride-1
+//! convolution with 16 multiplies instead of 36 (a 2.25× multiply reduction)
+//! at the price of transform overhead. This module implements the algorithm
+//! functionally (validated against the direct reference) and provides its
+//! cost-model profile, so the baseline emulation's "vendor kernels use
+//! techniques outside our template space" factor has a concrete mechanism
+//! behind it.
+//!
+//! Transforms (Lavin & Gray 2015):
+//! `Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A`
+//! with the canonical 4×4/3×3 matrices for m=2, r=3.
+
+use crate::workload::ConvWorkload;
+use unigpu_device::{DeviceSpec, KernelProfile};
+use unigpu_tensor::Tensor;
+
+/// `Bᵀ d B` for a 4×4 input tile `d`.
+fn input_transform(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    // Bᵀ = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+    let mut tmp = [[0.0f32; 4]; 4];
+    for c in 0..4 {
+        tmp[0][c] = d[0][c] - d[2][c];
+        tmp[1][c] = d[1][c] + d[2][c];
+        tmp[2][c] = d[2][c] - d[1][c];
+        tmp[3][c] = d[1][c] - d[3][c];
+    }
+    let mut out = [[0.0f32; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = tmp[r][0] - tmp[r][2];
+        out[r][1] = tmp[r][1] + tmp[r][2];
+        out[r][2] = tmp[r][2] - tmp[r][1];
+        out[r][3] = tmp[r][1] - tmp[r][3];
+    }
+    out
+}
+
+/// `G g Gᵀ` for a 3×3 kernel `g`.
+fn kernel_transform(g: &[[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+    let mut tmp = [[0.0f32; 3]; 4];
+    for c in 0..3 {
+        tmp[0][c] = g[0][c];
+        tmp[1][c] = 0.5 * (g[0][c] + g[1][c] + g[2][c]);
+        tmp[2][c] = 0.5 * (g[0][c] - g[1][c] + g[2][c]);
+        tmp[3][c] = g[2][c];
+    }
+    let mut out = [[0.0f32; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = tmp[r][0];
+        out[r][1] = 0.5 * (tmp[r][0] + tmp[r][1] + tmp[r][2]);
+        out[r][2] = 0.5 * (tmp[r][0] - tmp[r][1] + tmp[r][2]);
+        out[r][3] = tmp[r][2];
+    }
+    out
+}
+
+/// `Aᵀ m A` collapsing a 4×4 elementwise product to the 2×2 output tile.
+fn output_transform(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    // Aᵀ = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [[0.0f32; 4]; 2];
+    for c in 0..4 {
+        tmp[0][c] = m[0][c] + m[1][c] + m[2][c];
+        tmp[1][c] = m[1][c] - m[2][c] - m[3][c];
+    }
+    let mut out = [[0.0f32; 2]; 2];
+    for r in 0..2 {
+        out[r][0] = tmp[r][0] + tmp[r][1] + tmp[r][2];
+        out[r][1] = tmp[r][1] - tmp[r][2] - tmp[r][3];
+    }
+    out
+}
+
+/// Winograd F(2×2, 3×3) convolution.
+///
+/// # Panics
+/// Panics unless the workload is a dense (groups=1) 3×3 stride-1 conv.
+pub fn conv2d_winograd(data: &Tensor, weight: &Tensor, w: &ConvWorkload) -> Tensor {
+    assert_eq!((w.kernel_h, w.kernel_w), (3, 3), "Winograd F(2,3) needs a 3x3 kernel");
+    assert_eq!((w.stride_h, w.stride_w), (1, 1), "Winograd needs stride 1");
+    assert_eq!(w.groups, 1, "dense convolution only");
+    assert_eq!(data.shape().dims(), w.input_shape());
+    assert_eq!(weight.shape().dims(), w.weight_shape());
+
+    let (oh, ow) = (w.out_h(), w.out_w());
+    let (ih, iw) = (w.height, w.width);
+    let (ic, oc) = (w.in_channels, w.out_channels);
+    let x = data.as_f32();
+    let k = weight.as_f32();
+    let mut out = Tensor::zeros(w.output_shape());
+    let o = out.as_f32_mut();
+
+    // Pre-transform all kernels: U[oc][ic] in the 4×4 Winograd domain.
+    let mut u = vec![[[0.0f32; 4]; 4]; oc * ic];
+    for ocl in 0..oc {
+        for icl in 0..ic {
+            let mut g = [[0.0f32; 3]; 3];
+            for r in 0..3 {
+                for c in 0..3 {
+                    g[r][c] = k[((ocl * ic + icl) * 3 + r) * 3 + c];
+                }
+            }
+            u[ocl * ic + icl] = kernel_transform(&g);
+        }
+    }
+
+    let tiles_h = oh.div_ceil(2);
+    let tiles_w = ow.div_ceil(2);
+    for n in 0..w.batch {
+        for th in 0..tiles_h {
+            for tw in 0..tiles_w {
+                // Gather + transform the 4×4 input tile per channel once.
+                let mut v = vec![[[0.0f32; 4]; 4]; ic];
+                for (icl, vt) in v.iter_mut().enumerate() {
+                    let mut d = [[0.0f32; 4]; 4];
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            let hi = (th * 2 + r) as isize - w.pad_h as isize;
+                            let wi = (tw * 2 + c) as isize - w.pad_w as isize;
+                            d[r][c] = if hi >= 0 && hi < ih as isize && wi >= 0 && wi < iw as isize
+                            {
+                                x[((n * ic + icl) * ih + hi as usize) * iw + wi as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    *vt = input_transform(&d);
+                }
+                for ocl in 0..oc {
+                    // Elementwise multiply-accumulate in the Winograd domain.
+                    let mut m = [[0.0f32; 4]; 4];
+                    for (icl, vt) in v.iter().enumerate() {
+                        let ut = &u[ocl * ic + icl];
+                        for r in 0..4 {
+                            for c in 0..4 {
+                                m[r][c] += ut[r][c] * vt[r][c];
+                            }
+                        }
+                    }
+                    let y = output_transform(&m);
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            let (ho, wo) = (th * 2 + r, tw * 2 + c);
+                            if ho < oh && wo < ow {
+                                o[((n * oc + ocl) * oh + ho) * ow + wo] = y[r][c];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Is a workload eligible for the Winograd kernel?
+pub fn winograd_applicable(w: &ConvWorkload) -> bool {
+    w.kernel_h == 3 && w.kernel_w == 3 && w.stride_h == 1 && w.stride_w == 1 && w.groups == 1
+}
+
+/// Cost-model profile of a Winograd kernel: 2.25× fewer multiplies in the
+/// elementwise stage, plus transform traffic. Used by the vendor baseline
+/// emulation to justify its classic-shape advantage mechanically.
+pub fn winograd_profile(w: &ConvWorkload, spec: &DeviceSpec) -> KernelProfile {
+    assert!(winograd_applicable(w));
+    let tiles = w.batch * w.out_h().div_ceil(2) * w.out_w().div_ceil(2);
+    let items = tiles * w.out_channels;
+    // per item: ic 4×4 MACs in the transform domain + output transform
+    let flops = 2.0 * 16.0 * w.in_channels as f64 + 32.0;
+    KernelProfile::new(format!("winograd[{}]", w.key()), items)
+        .workgroup(64.min(spec.max_concurrency()))
+        .flops(flops)
+        .reads(16.0 * 4.0 / 4.0) // transformed tiles shared across oc via SLM
+        .writes(16.0)
+        .coalesce(0.85)
+        .ilp(0.9)
+        .slm(64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::reference::conv2d_ref;
+    use unigpu_tensor::allclose;
+    use unigpu_tensor::init::random_uniform;
+
+    fn check(w: ConvWorkload, seed: u64) {
+        let data = random_uniform(w.input_shape(), seed);
+        let wt = random_uniform(w.weight_shape(), seed + 1);
+        let direct = conv2d_ref(&data, &wt, &w);
+        let wino = conv2d_winograd(&data, &wt, &w);
+        assert!(
+            allclose(&wino, &direct, 1e-4, 1e-5),
+            "winograd diverged on {w}"
+        );
+    }
+
+    #[test]
+    fn matches_direct_on_even_sizes() {
+        check(ConvWorkload::square(1, 4, 6, 8, 3, 1, 1), 51);
+    }
+
+    #[test]
+    fn matches_direct_on_odd_sizes() {
+        // odd output extent exercises the partial final tile
+        check(ConvWorkload::square(1, 3, 5, 9, 3, 1, 1), 53);
+    }
+
+    #[test]
+    fn matches_direct_without_padding() {
+        check(ConvWorkload::square(2, 2, 4, 10, 3, 1, 0), 55);
+    }
+
+    #[test]
+    fn matches_direct_single_channel() {
+        check(ConvWorkload::square(1, 1, 1, 6, 3, 1, 1), 57);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride 1")]
+    fn rejects_strided() {
+        let w = ConvWorkload::square(1, 2, 2, 8, 3, 2, 1);
+        let data = random_uniform(w.input_shape(), 1);
+        let wt = random_uniform(w.weight_shape(), 2);
+        conv2d_winograd(&data, &wt, &w);
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(winograd_applicable(&ConvWorkload::square(1, 64, 64, 56, 3, 1, 1)));
+        assert!(!winograd_applicable(&ConvWorkload::square(1, 64, 64, 56, 1, 1, 0)));
+        assert!(!winograd_applicable(&ConvWorkload::square(1, 64, 64, 56, 3, 2, 1)));
+        assert!(!winograd_applicable(&ConvWorkload::depthwise(1, 64, 56, 3, 1, 1)));
+    }
+
+    #[test]
+    fn winograd_profile_cuts_multiplies() {
+        let w = ConvWorkload::square(1, 128, 128, 28, 3, 1, 1);
+        let spec = DeviceSpec::maxwell_nano();
+        let p = winograd_profile(&w, &spec);
+        let direct_flops = w.flops();
+        assert!(
+            p.total_flops() < direct_flops / 1.8,
+            "winograd {} should be well under direct {direct_flops}",
+            p.total_flops()
+        );
+    }
+
+    #[test]
+    fn kernel_transform_of_identity_delta() {
+        // delta kernel (center 1) convolves to identity; sanity on transforms
+        let w = ConvWorkload::square(1, 1, 1, 6, 3, 1, 1);
+        let data = random_uniform(w.input_shape(), 60);
+        let mut wt = Tensor::zeros(w.weight_shape());
+        wt.set(&[0, 0, 1, 1], 1.0);
+        let y = conv2d_winograd(&data, &wt, &w);
+        assert!(allclose(&y, &data, 1e-5, 1e-6));
+    }
+}

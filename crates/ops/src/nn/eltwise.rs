@@ -1,0 +1,156 @@
+//! Elementwise operators and tensor plumbing (concat, upsample, flatten).
+
+use unigpu_tensor::{Shape, Tensor};
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    y.map_inplace(|v| v.max(0.0));
+    y
+}
+
+/// Leaky ReLU (`alpha·x` for `x < 0`) — used by YOLOv3's Darknet backbone.
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    let mut y = x.clone();
+    y.map_inplace(|v| if v >= 0.0 { v } else { alpha * v });
+    y
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    y.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+    y
+}
+
+/// Elementwise sum of two same-shape tensors (residual connections).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "elementwise add shape mismatch");
+    let mut y = a.clone();
+    for (o, v) in y.as_f32_mut().iter_mut().zip(b.as_f32()) {
+        *o += v;
+    }
+    y
+}
+
+/// Concatenate `NCHW` tensors along the channel axis (Fire modules, SSD and
+/// YOLO heads, DenseNet-style junctions).
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat of zero tensors");
+    let (n, _, h, w) = parts[0].shape().nchw();
+    let mut c_total = 0;
+    for p in parts {
+        let (pn, pc, ph, pw) = p.shape().nchw();
+        assert_eq!((pn, ph, pw), (n, h, w), "concat non-channel dims must match");
+        c_total += pc;
+    }
+    let mut out = Tensor::zeros(Shape::from([n, c_total, h, w]));
+    let plane = h * w;
+    let o = out.as_f32_mut();
+    for ni in 0..n {
+        let mut c_off = 0;
+        for p in parts {
+            let pc = p.shape().dim(1);
+            let src = p.as_f32();
+            let src_base = ni * pc * plane;
+            let dst_base = (ni * c_total + c_off) * plane;
+            o[dst_base..dst_base + pc * plane]
+                .copy_from_slice(&src[src_base..src_base + pc * plane]);
+            c_off += pc;
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour spatial upsampling by an integer factor (YOLOv3 feature
+/// pyramid).
+pub fn upsample_nearest(x: &Tensor, scale: usize) -> Tensor {
+    assert!(scale >= 1);
+    let (n, c, h, w) = x.shape().nchw();
+    let (oh, ow) = (h * scale, w * scale);
+    let xs = x.as_f32();
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let o = out.as_f32_mut();
+    for p in 0..n * c {
+        for ohi in 0..oh {
+            let hi = ohi / scale;
+            for owi in 0..ow {
+                o[(p * oh + ohi) * ow + owi] = xs[(p * h + hi) * w + owi / scale];
+            }
+        }
+    }
+    out
+}
+
+/// Flatten `NCHW → N×(CHW)` for the classifier head.
+pub fn flatten(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    x.clone().reshape([n, c * h * w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&x).as_f32(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let x = Tensor::from_vec([3], vec![-10.0, 0.0, 5.0]);
+        assert_eq!(leaky_relu(&x, 0.1).as_f32(), &[-1.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let x = Tensor::from_vec([1], vec![0.0]);
+        assert_eq!(sigmoid(&x).as_f32(), &[0.5]);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2], vec![10.0, 20.0]);
+        assert_eq!(add(&a, &b).as_f32(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::full([1, 1, 2, 2], 1.0);
+        let b = Tensor::full([1, 2, 2, 2], 2.0);
+        let y = concat_channels(&[&a, &b]);
+        assert_eq!(y.shape().dims(), &[1, 3, 2, 2]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]), 2.0);
+        assert_eq!(y.at(&[0, 2, 0, 1]), 2.0);
+    }
+
+    #[test]
+    fn concat_multibatch_keeps_batches_separate() {
+        let a = Tensor::from_vec([2, 1, 1, 1], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2, 1, 1, 1], vec![3.0, 4.0]);
+        let y = concat_channels(&[&a, &b]);
+        assert_eq!(y.as_f32(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = upsample_nearest(&x, 2);
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(y.at(&[0, 0, 2, 1]), 3.0);
+    }
+
+    #[test]
+    fn flatten_reshapes() {
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        assert_eq!(flatten(&x).shape().dims(), &[2, 60]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Spatial pooling operators.
+
+use unigpu_tensor::Tensor;
+
+fn pool2d(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    init: f32,
+    step: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let oh = (h + 2 * pad - kernel) / stride + 1;
+    let ow = (w + 2 * pad - kernel) / stride + 1;
+    let xs = x.as_f32();
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let o = out.as_f32_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = init;
+                    let mut count = 0usize;
+                    for kh in 0..kernel {
+                        let hi = (ohi * stride + kh) as isize - pad as isize;
+                        if hi < 0 || hi >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..kernel {
+                            let wi = (owi * stride + kw) as isize - pad as isize;
+                            if wi < 0 || wi >= w as isize {
+                                continue;
+                            }
+                            acc = step(acc, xs[base + hi as usize * w + wi as usize]);
+                            count += 1;
+                        }
+                    }
+                    o[((ni * c + ci) * oh + ohi) * ow + owi] = finish(acc, count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling with zero-excluded padding (padding never wins the max; the
+/// window simply shrinks at borders, matching MXNet/GluonCV semantics).
+pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize, pad: usize) -> Tensor {
+    pool2d(x, kernel, stride, pad, f32::NEG_INFINITY, f32::max, |acc, count| {
+        if count == 0 {
+            0.0
+        } else {
+            acc
+        }
+    })
+}
+
+/// Average pooling, excluding padding from the divisor.
+pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize, pad: usize) -> Tensor {
+    pool2d(x, kernel, stride, pad, 0.0, |a, v| a + v, |acc, count| {
+        if count == 0 {
+            0.0
+        } else {
+            acc / count as f32
+        }
+    })
+}
+
+/// Global average pooling: `NCHW → NC11`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let xs = x.as_f32();
+    let mut out = Tensor::zeros([n, c, 1, 1]);
+    let o = out.as_f32_mut();
+    let plane = h * w;
+    for i in 0..n * c {
+        let sum: f32 = xs[i * plane..(i + 1) * plane].iter().sum();
+        o[i] = sum / plane as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2x2(vals: [f32; 16]) -> Tensor {
+        Tensor::from_vec([1, 1, 4, 4], vals.to_vec())
+    }
+
+    #[test]
+    fn max_pool_2x2_stride2() {
+        let x = t2x2([
+            1.0, 2.0, 3.0, 4.0, //
+            5.0, 6.0, 7.0, 8.0, //
+            9.0, 10.0, 11.0, 12.0, //
+            13.0, 14.0, 15.0, 16.0,
+        ]);
+        let y = max_pool2d(&x, 2, 2, 0);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding_from_divisor() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![4.0, 4.0, 4.0, 4.0]);
+        // 3x3 window with pad 1 at corner covers 4 real cells → avg must be 4.
+        let y = avg_pool2d(&x, 3, 1, 1);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn max_pool_padding_never_wins() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![-5.0, -6.0, -7.0, -8.0]);
+        let y = max_pool2d(&x, 3, 1, 1);
+        // all values negative; zero-padding must not leak a 0 into the max
+        assert_eq!(y.at(&[0, 0, 0, 0]), -5.0);
+    }
+
+    #[test]
+    fn resnet_style_3x3_stride2_pad1() {
+        let x = t2x2([
+            1.0, 2.0, 3.0, 4.0, //
+            5.0, 6.0, 7.0, 8.0, //
+            9.0, 10.0, 11.0, 12.0, //
+            13.0, 14.0, 15.0, 16.0,
+        ]);
+        let y = max_pool2d(&x, 3, 2, 1);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.as_f32(), &[2.5, 10.0]);
+    }
+}

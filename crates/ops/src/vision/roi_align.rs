@@ -1,0 +1,167 @@
+//! `ROIAlign` — bilinear region-of-interest pooling (§2.2/§3.1.1 lists it
+//! among the vision-specific operators vendor libraries run suboptimally).
+
+use unigpu_device::KernelProfile;
+use unigpu_tensor::Tensor;
+
+/// Bilinear sample `features[n, c, y, x]` at fractional coordinates, with
+/// zero outside the map (Detectron semantics).
+fn bilinear(feat: &[f32], h: usize, w: usize, y: f32, x: f32) -> f32 {
+    if y < -1.0 || y > h as f32 || x < -1.0 || x > w as f32 {
+        return 0.0;
+    }
+    let y = y.max(0.0);
+    let x = x.max(0.0);
+    let (y0, x0) = (y.floor() as usize, x.floor() as usize);
+    let y1 = (y0 + 1).min(h - 1);
+    let x1 = (x0 + 1).min(w - 1);
+    let y0 = y0.min(h - 1);
+    let x0 = x0.min(w - 1);
+    let ly = y - y0 as f32;
+    let lx = x - x0 as f32;
+    let v00 = feat[y0 * w + x0];
+    let v01 = feat[y0 * w + x1];
+    let v10 = feat[y1 * w + x0];
+    let v11 = feat[y1 * w + x1];
+    v00 * (1.0 - ly) * (1.0 - lx) + v01 * (1.0 - ly) * lx + v10 * ly * (1.0 - lx) + v11 * ly * lx
+}
+
+/// ROIAlign.
+///
+/// * `features`: `[n, c, h, w]`;
+/// * `rois`: `[r, 5]` rows `(batch_index, x1, y1, x2, y2)` in feature-map
+///   coordinates after `spatial_scale` is applied;
+/// * output: `[r, c, pooled, pooled]`, each bin averaging
+///   `sampling_ratio × sampling_ratio` bilinear samples.
+pub fn roi_align(
+    features: &Tensor,
+    rois: &Tensor,
+    pooled: usize,
+    spatial_scale: f32,
+    sampling_ratio: usize,
+) -> Tensor {
+    let (n, c, h, w) = features.shape().nchw();
+    let rdims = rois.shape().dims();
+    assert_eq!(rdims.len(), 2, "rois must be [r, 5]");
+    assert_eq!(rdims[1], 5, "roi rows are (batch, x1, y1, x2, y2)");
+    assert!(sampling_ratio >= 1);
+    let r = rdims[0];
+    let f = features.as_f32();
+    let rr = rois.as_f32();
+    let mut out = Tensor::zeros([r, c, pooled, pooled]);
+    let o = out.as_f32_mut();
+
+    for ri in 0..r {
+        let b = rr[ri * 5] as usize;
+        assert!(b < n, "roi batch index {b} out of range");
+        let x1 = rr[ri * 5 + 1] * spatial_scale;
+        let y1 = rr[ri * 5 + 2] * spatial_scale;
+        let x2 = rr[ri * 5 + 3] * spatial_scale;
+        let y2 = rr[ri * 5 + 4] * spatial_scale;
+        let rw = (x2 - x1).max(1.0);
+        let rh = (y2 - y1).max(1.0);
+        let bin_w = rw / pooled as f32;
+        let bin_h = rh / pooled as f32;
+        for ci in 0..c {
+            let feat = &f[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+            for py in 0..pooled {
+                for px in 0..pooled {
+                    let mut acc = 0.0f32;
+                    for sy in 0..sampling_ratio {
+                        let yy = y1
+                            + py as f32 * bin_h
+                            + (sy as f32 + 0.5) * bin_h / sampling_ratio as f32;
+                        for sx in 0..sampling_ratio {
+                            let xx = x1
+                                + px as f32 * bin_w
+                                + (sx as f32 + 0.5) * bin_w / sampling_ratio as f32;
+                            acc += bilinear(feat, h, w, yy, xx);
+                        }
+                    }
+                    o[((ri * c + ci) * pooled + py) * pooled + px] =
+                        acc / (sampling_ratio * sampling_ratio) as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cost-model profile: one work-item per output bin, four bilinear taps per
+/// sample — gather-heavy (poorly coalesced) but balanced.
+pub fn roi_align_profile(rois: usize, channels: usize, pooled: usize, sampling: usize) -> KernelProfile {
+    let items = (rois * channels * pooled * pooled).max(1);
+    let samples = (sampling * sampling) as f64;
+    KernelProfile::new("roi_align", items)
+        .workgroup(64)
+        .flops(samples * 10.0)
+        .reads(samples * 16.0)
+        .writes(4.0)
+        .coalesce(0.35) // scattered bilinear gathers
+        .divergence(0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_features_pool_to_constant() {
+        let feat = Tensor::full([1, 2, 8, 8], 3.5);
+        let rois = Tensor::from_vec([1, 5], vec![0.0, 1.0, 1.0, 6.0, 6.0]);
+        let y = roi_align(&feat, &rois, 2, 1.0, 2);
+        assert!(y.as_f32().iter().all(|&v| (v - 3.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_ramp_pools_to_exact_means() {
+        // f(y,x) = x: bilinear interp of a linear function is exact.
+        let mut feat = Tensor::zeros([1, 1, 8, 8]);
+        for y in 0..8 {
+            for x in 0..8 {
+                feat.set(&[0, 0, y, x], x as f32);
+            }
+        }
+        let rois = Tensor::from_vec([1, 5], vec![0.0, 0.0, 0.0, 4.0, 4.0]);
+        let out = roi_align(&feat, &rois, 2, 1.0, 2);
+        // bin (·,0) covers x∈[0,2): samples at 0.5, 1.5 → mean 1.0
+        assert!((out.at(&[0, 0, 0, 0]) - 1.0).abs() < 1e-5);
+        // bin (·,1) covers x∈[2,4): samples at 2.5, 3.5 → mean 3.0
+        assert!((out.at(&[0, 0, 0, 1]) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spatial_scale_rescales_rois() {
+        let feat = Tensor::full([1, 1, 4, 4], 1.0);
+        // roi in image coords 0..32 with scale 1/8 → feature coords 0..4
+        let rois = Tensor::from_vec([1, 5], vec![0.0, 0.0, 0.0, 32.0, 32.0]);
+        let y = roi_align(&feat, &rois, 2, 0.125, 1);
+        assert!(y.as_f32().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn batch_index_selects_image() {
+        let mut feat = Tensor::zeros([2, 1, 2, 2]);
+        for y in 0..2 {
+            for x in 0..2 {
+                feat.set(&[1, 0, y, x], 9.0);
+            }
+        }
+        let rois = Tensor::from_vec([2, 5], vec![
+            0.0, 0.0, 0.0, 2.0, 2.0, //
+            1.0, 0.0, 0.0, 2.0, 2.0,
+        ]);
+        let y = roi_align(&feat, &rois, 1, 1.0, 1);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(y.at(&[1, 0, 0, 0]), 9.0);
+    }
+
+    #[test]
+    fn out_of_map_samples_are_zero() {
+        let feat = Tensor::full([1, 1, 4, 4], 2.0);
+        // roi far outside the map
+        let rois = Tensor::from_vec([1, 5], vec![0.0, 100.0, 100.0, 108.0, 108.0]);
+        let y = roi_align(&feat, &rois, 2, 1.0, 1);
+        assert!(y.as_f32().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,385 @@
+//! Segmented argsort — Figure 2 of the paper.
+//!
+//! NMS sorts many *small, variable-length* score lists. One GPU thread per
+//! segment diverges badly (threads with short segments idle while the longest
+//! one runs). The paper's fix:
+//!
+//! 1. **flatten** the segments into one array, remembering segment starts;
+//! 2. chop the flat array into **equal-length blocks** (load balancing);
+//! 3. **block-sort** each block — here a real barrier-phased *bitonic sort*
+//!    running on the simulated work-group executor;
+//! 4. **cooperative merge** rounds: each round doubles the cooperating block
+//!    span (Figure 2's `coop 2 → coop 4 → coop 8`), with merge-path
+//!    partitioning so every block writes an equal-sized output chunk.
+//!
+//! Segment independence is preserved by sorting the composite key
+//! `(segment, -value, index)`: globally sorting the flattened array under
+//! this key equals concatenating per-segment sorts, which is exactly the
+//! "only the segments that span the active interface between two input lists
+//! are modified" property.
+
+use std::cmp::Ordering;
+use unigpu_device::{dispatch_chunks, DeviceSpec, KernelProfile};
+
+/// One element of the flattened composite-key array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Elem {
+    seg: u32,
+    val: f32,
+    idx: u32,
+    /// Padding sentinel (sorts after everything real).
+    pad: bool,
+}
+
+impl Elem {
+    const PAD: Elem = Elem { seg: u32::MAX, val: 0.0, idx: u32::MAX, pad: true };
+}
+
+/// Total order: segment ascending, value descending, index ascending;
+/// padding last. Total (no NaN inputs allowed).
+fn elem_cmp(a: &Elem, b: &Elem) -> Ordering {
+    a.pad
+        .cmp(&b.pad)
+        .then(a.seg.cmp(&b.seg))
+        .then_with(|| b.val.partial_cmp(&a.val).expect("NaN score in argsort"))
+        .then(a.idx.cmp(&b.idx))
+}
+
+/// In-place bitonic sort of a power-of-two block, expressed as the exact
+/// compare-exchange network a work-group executes between barriers.
+fn bitonic_sort_block(block: &mut [Elem]) {
+    let n = block.len();
+    debug_assert!(n.is_power_of_two());
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            // One barrier-separated phase: every work-item i does at most one
+            // compare-exchange with partner i^j; pairs are disjoint.
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = i & k == 0;
+                    let out_of_order = elem_cmp(&block[i], &block[partner]) == Ordering::Greater;
+                    if ascending == out_of_order {
+                        block.swap(i, partner);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Merge-path diagonal search: how many elements of `a` belong before the
+/// `diag`-th output element when merging sorted runs `a` and `b`.
+fn merge_path(a: &[Elem], b: &[Elem], diag: usize) -> usize {
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // a[mid] vs b[diag-1-mid]: if a[mid] <= b[...], take more from a.
+        if elem_cmp(&a[mid], &b[diag - 1 - mid]) != Ordering::Greater {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Sequentially merge `count` outputs starting at merge-path split
+/// (`ai`, `bi`) into `out`.
+fn merge_chunk(a: &[Elem], b: &[Elem], mut ai: usize, mut bi: usize, out: &mut [Elem]) {
+    for slot in out.iter_mut() {
+        let take_a = if ai >= a.len() {
+            false
+        } else if bi >= b.len() {
+            true
+        } else {
+            elem_cmp(&a[ai], &b[bi]) != Ordering::Greater
+        };
+        if take_a {
+            *slot = a[ai];
+            ai += 1;
+        } else {
+            *slot = b[bi];
+            bi += 1;
+        }
+    }
+}
+
+/// Segmented argsort (descending by value, ties by original index).
+///
+/// `offsets` is CSR-style: segment `s` is `data[offsets[s]..offsets[s+1]]`.
+/// Returns, for each flattened position `offsets[s] + r`, the *local index*
+/// within segment `s` of its rank-`r` element (the `numpy.argsort` contract
+/// applied per segment, descending).
+///
+/// `block` is the equal-length block size of Figure 2 (power of two).
+pub fn segmented_argsort(data: &[f32], offsets: &[usize], block: usize) -> Vec<i32> {
+    assert!(block.is_power_of_two() && block >= 2, "block must be a power of two >= 2");
+    assert!(!offsets.is_empty() && *offsets.last().unwrap() == data.len(),
+        "offsets must start at 0 and end at data.len()");
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Step 1: flatten with composite keys, padded to a block multiple.
+    let padded = n.div_ceil(block) * block;
+    let mut elems = vec![Elem::PAD; padded];
+    for s in 0..offsets.len() - 1 {
+        let (lo, hi) = (offsets[s], offsets[s + 1]);
+        debug_assert!(lo <= hi, "offsets must be nondecreasing");
+        for (local, g) in (lo..hi).enumerate() {
+            elems[g] = Elem { seg: s as u32, val: data[g], idx: local as u32, pad: false };
+        }
+    }
+
+    // Step 2+3: equal blocks, bitonic block sort (one work-group per block).
+    dispatch_chunks(&mut elems, block, |_, chunk| bitonic_sort_block(chunk));
+
+    // Step 4: cooperative merge rounds, doubling the span each round.
+    let mut src = elems;
+    let mut dst = vec![Elem::PAD; padded];
+    let mut width = block;
+    while width < padded {
+        let span = 2 * width;
+        // Each output chunk of `block` elements is produced by one group via
+        // merge-path partitioning, so cooperation within a span is balanced.
+        dispatch_chunks(&mut dst, block, |g, out| {
+            let chunk_start = g * block;
+            let span_start = (chunk_start / span) * span;
+            let a = &src[span_start..(span_start + width).min(padded)];
+            let b = &src[(span_start + width).min(padded)..(span_start + span).min(padded)];
+            let diag = chunk_start - span_start;
+            let ai = merge_path(a, b, diag);
+            let bi = diag - ai;
+            merge_chunk(a, b, ai, bi, out);
+        });
+        std::mem::swap(&mut src, &mut dst);
+        width = span;
+    }
+
+    // Gather: src[offsets[s] + rank] is the rank-th element of segment s.
+    let mut out = vec![0i32; n];
+    for (g, slot) in out.iter_mut().enumerate() {
+        *slot = src[g].idx as i32;
+    }
+    out
+}
+
+/// The naive GPU realization Table 4 ablates against: one thread per
+/// segment, each insertion-sorting its own variable-length list.
+pub fn naive_segment_argsort(data: &[f32], offsets: &[usize]) -> Vec<i32> {
+    let n = data.len();
+    let mut out = vec![0i32; n];
+    for s in 0..offsets.len() - 1 {
+        let (lo, hi) = (offsets[s], offsets[s + 1]);
+        let mut idx: Vec<i32> = (0..(hi - lo) as i32).collect();
+        // Insertion sort — what a single GPU thread would actually run.
+        for i in 1..idx.len() {
+            let key = idx[i];
+            let mut j = i;
+            while j > 0 {
+                let a = data[lo + idx[j - 1] as usize];
+                let b = data[lo + key as usize];
+                if a < b || (a == b && idx[j - 1] > key) {
+                    idx[j] = idx[j - 1];
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            idx[j] = key;
+        }
+        out[lo..hi].copy_from_slice(&idx);
+    }
+    out
+}
+
+/// Cost-model profiles for the optimized segmented sort: one block-sort
+/// launch plus `log2(blocks)` cooperative merge launches.
+pub fn segmented_sort_profiles(n: usize, block: usize, _spec: &DeviceSpec) -> Vec<KernelProfile> {
+    let padded = n.div_ceil(block).max(1) * block;
+    let blocks = padded / block;
+    let bitonic_phases = {
+        let lb = block.trailing_zeros() as usize;
+        lb * (lb + 1) / 2
+    };
+    let mut v = vec![KernelProfile::new("segsort/block_bitonic", padded)
+        .workgroup(block.min(256))
+        .flops(bitonic_phases as f64 * 2.0)
+        .reads(12.0)
+        .writes(12.0)
+        .divergence(0.85)
+        .coalesce(0.8)
+        .with_barriers(bitonic_phases)];
+    let merge_rounds = (blocks as f64).log2().ceil() as usize;
+    if merge_rounds > 0 {
+        v.push(
+            KernelProfile::new("segsort/coop_merge", padded)
+                .workgroup(block.min(256))
+                .flops(4.0)
+                .reads(12.0)
+                .writes(12.0)
+                .divergence(0.9)
+                .coalesce(0.85)
+                .repeated(merge_rounds),
+        );
+    }
+    v
+}
+
+/// Cost-model profile of the naive GPU sort Table 4 ablates against: an
+/// odd-even transposition network over the *un-segmented* flat array (the
+/// pre-optimization TVM code sorted everything in one go). One work-item per
+/// element, `max_len` barrier-separated passes, divergent compare-exchanges,
+/// strided accesses — `O(n·max_len)` work versus the segmented pipeline's
+/// `O(n·log n)`.
+pub fn naive_sort_profile(seg_lens: &[usize]) -> KernelProfile {
+    let n: usize = seg_lens.iter().sum::<usize>().max(1);
+    let n_segs = seg_lens.len().max(1);
+    let max_len = seg_lens.iter().copied().max().unwrap_or(1).max(1);
+    let mean_len = (n / n_segs).max(1);
+    KernelProfile::new("segsort/naive_odd_even", n)
+        .workgroup(64)
+        .flops(4.0 * max_len as f64) // one compare-exchange per pass
+        .reads(2.0 * max_len as f64) // neighbour re-reads survive in cache
+        .writes(8.0)
+        .simd(0.3) // divergent compare-exchange lanes
+        .divergence(0.25)
+        .imbalance((max_len as f64 / mean_len as f64).clamp(1.0, 8.0))
+        .coalesce(0.3)
+        .slm(16.0) // scratch staging: spills to DRAM on Mali
+        .with_barriers((max_len / 64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_argsort(data: &[f32], offsets: &[usize]) -> Vec<i32> {
+        let mut out = vec![0i32; data.len()];
+        for s in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            let mut idx: Vec<usize> = (0..hi - lo).collect();
+            idx.sort_by(|&a, &b| {
+                data[lo + b]
+                    .partial_cmp(&data[lo + a])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            for (r, &i) in idx.iter().enumerate() {
+                out[lo + r] = i as i32;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_segment_sorts_descending() {
+        let data = [0.3, 0.9, 0.1, 0.5];
+        let offsets = [0, 4];
+        let got = segmented_argsort(&data, &offsets, 2);
+        assert_eq!(got, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn multiple_variable_segments() {
+        let data = [0.5, 0.2, 0.9, /*|*/ 0.4, /*|*/ 0.1, 0.8, 0.8, 0.3];
+        let offsets = [0, 3, 4, 8];
+        let got = segmented_argsort(&data, &offsets, 4);
+        assert_eq!(got, reference_argsort(&data, &offsets));
+    }
+
+    #[test]
+    fn empty_segments_are_fine() {
+        let data = [0.5, 0.1];
+        let offsets = [0, 0, 2, 2];
+        let got = segmented_argsort(&data, &offsets, 2);
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_original_index() {
+        let data = [0.7, 0.7, 0.7];
+        let offsets = [0, 3];
+        assert_eq!(segmented_argsort(&data, &offsets, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_reference_across_block_sizes() {
+        let data: Vec<f32> = (0..97).map(|i| ((i * 37) % 89) as f32 / 10.0).collect();
+        let offsets = [0usize, 10, 11, 40, 40, 97];
+        let want = reference_argsort(&data, &offsets);
+        for block in [2, 4, 8, 16, 32, 64, 128] {
+            assert_eq!(
+                segmented_argsort(&data, &offsets, block),
+                want,
+                "block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_agree() {
+        let data: Vec<f32> = (0..64).map(|i| ((i * 13) % 31) as f32).collect();
+        let offsets = [0usize, 5, 5, 20, 33, 64];
+        assert_eq!(
+            segmented_argsort(&data, &offsets, 8),
+            naive_segment_argsort(&data, &offsets)
+        );
+    }
+
+    #[test]
+    fn bitonic_block_is_a_real_sort() {
+        let mut block: Vec<Elem> = (0..16)
+            .map(|i| Elem { seg: 0, val: ((i * 7) % 16) as f32, idx: i as u32, pad: false })
+            .collect();
+        bitonic_sort_block(&mut block);
+        for w in block.windows(2) {
+            assert_ne!(elem_cmp(&w[0], &w[1]), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn merge_path_splits_are_consistent() {
+        let mk = |vals: &[f32]| -> Vec<Elem> {
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| Elem { seg: 0, val: v, idx: i as u32, pad: false })
+                .collect()
+        };
+        // a and b sorted descending (our key order)
+        let a = mk(&[9.0, 7.0, 5.0]);
+        let b = mk(&[8.0, 6.0, 4.0]);
+        for diag in 0..=6 {
+            let ai = merge_path(&a, &b, diag);
+            let bi = diag - ai;
+            assert!(ai <= a.len() && bi <= b.len());
+        }
+    }
+
+    #[test]
+    fn optimized_profile_beats_naive_on_imbalanced_input() {
+        use unigpu_device::CostModel;
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let m = CostModel::new(spec.clone());
+        // SSD-like: 21 classes × ~1000 candidates, one long segment.
+        let mut lens = vec![40usize; 20];
+        lens.push(5000);
+        let n: usize = lens.iter().sum();
+        let opt: f64 = segmented_sort_profiles(n, 256, &spec)
+            .iter()
+            .map(|p| m.kernel_time_ms(p))
+            .sum();
+        let naive = m.kernel_time_ms(&naive_sort_profile(&lens));
+        assert!(
+            naive > 3.0 * opt,
+            "naive {naive:.3} ms should be >> optimized {opt:.3} ms"
+        );
+    }
+}

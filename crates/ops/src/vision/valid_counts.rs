@@ -1,0 +1,173 @@
+//! `get_valid_counts` and `topk` — the remaining MXNet detection-pipeline
+//! operators around NMS (§3.1.1's "other vision-specific operators").
+//!
+//! `get_valid_counts` compacts candidate boxes above a score threshold to the
+//! front of the tensor and reports how many survived; on a GPU this is a
+//! stream compaction built from exactly the prefix sum of Figure 3 — which is
+//! why the paper's scan optimization matters to detection models at all.
+
+use super::scan::exclusive_scan;
+use unigpu_device::{DeviceSpec, KernelProfile};
+use unigpu_tensor::Tensor;
+
+/// Compact `[batch, n, 6]` candidates with `score > thresh` to the front of
+/// each batch row (remaining rows −1). Returns `(counts, compacted)` where
+/// `counts` is `[batch]` i32.
+///
+/// The compaction address of every surviving box is computed with the
+/// three-stage exclusive scan over the survival mask — the canonical GPU
+/// stream-compaction idiom.
+pub fn get_valid_counts(boxes: &Tensor, thresh: f32) -> (Tensor, Tensor) {
+    let dims = boxes.shape().dims();
+    assert_eq!(dims.len(), 3, "expected [batch, n, 6]");
+    assert_eq!(dims[2], 6);
+    let (batch, n) = (dims[0], dims[1]);
+    let src = boxes.as_f32();
+    let mut counts = Tensor::zeros_i32([batch]);
+    let mut out = Tensor::full([batch, n, 6], -1.0);
+    for b in 0..batch {
+        let rows = &src[b * n * 6..(b + 1) * n * 6];
+        // survival mask → exclusive scan → scatter addresses
+        let mask: Vec<f32> = (0..n)
+            .map(|i| (rows[i * 6] >= 0.0 && rows[i * 6 + 1] > thresh) as u8 as f32)
+            .collect();
+        let addr = exclusive_scan(&mask, 64);
+        let total: usize = mask.iter().sum::<f32>() as usize;
+        let dst = &mut out.as_f32_mut()[b * n * 6..(b + 1) * n * 6];
+        for i in 0..n {
+            if mask[i] > 0.0 {
+                let a = addr[i] as usize;
+                dst[a * 6..a * 6 + 6].copy_from_slice(&rows[i * 6..i * 6 + 6]);
+            }
+        }
+        counts.as_i32_mut()[b] = total as i32;
+    }
+    (counts, out)
+}
+
+/// Keep only the `k` highest-scoring candidates per batch row (the pre-NMS
+/// `topk` of the SSD pipeline); everything else becomes −1. Input rows must
+/// be score-sortable; output preserves score order.
+pub fn topk(boxes: &Tensor, k: usize) -> Tensor {
+    let dims = boxes.shape().dims();
+    assert_eq!(dims.len(), 3);
+    assert_eq!(dims[2], 6);
+    let (batch, n) = (dims[0], dims[1]);
+    let src = boxes.as_f32();
+    let mut out = Tensor::full([batch, n, 6], -1.0);
+    for b in 0..batch {
+        let rows = &src[b * n * 6..(b + 1) * n * 6];
+        let mut order: Vec<usize> = (0..n).filter(|&i| rows[i * 6] >= 0.0).collect();
+        order.sort_by(|&x, &y| {
+            rows[y * 6 + 1]
+                .partial_cmp(&rows[x * 6 + 1])
+                .unwrap()
+                .then(x.cmp(&y))
+        });
+        order.truncate(k);
+        let dst = &mut out.as_f32_mut()[b * n * 6..(b + 1) * n * 6];
+        for (slot, &i) in order.iter().enumerate() {
+            dst[slot * 6..slot * 6 + 6].copy_from_slice(&rows[i * 6..i * 6 + 6]);
+        }
+    }
+    out
+}
+
+/// Profile: mask + scan (3 launches) + scatter.
+pub fn valid_counts_profiles(n: usize, spec: &DeviceSpec) -> Vec<KernelProfile> {
+    let mut v = vec![KernelProfile::new("valid_counts/mask", n.max(1))
+        .workgroup(128)
+        .flops(2.0)
+        .reads(8.0)
+        .writes(4.0)
+        .coalesce(0.9)];
+    v.extend(super::scan::scan_profiles(n, spec.max_concurrency(), spec));
+    v.push(
+        KernelProfile::new("valid_counts/scatter", n.max(1))
+            .workgroup(128)
+            .flops(1.0)
+            .reads(28.0)
+            .writes(24.0)
+            .coalesce(0.5) // scattered writes
+            .divergence(0.85),
+    );
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(rows: &[[f32; 6]]) -> Tensor {
+        Tensor::from_vec([1, rows.len(), 6], rows.concat())
+    }
+
+    #[test]
+    fn compacts_survivors_to_front() {
+        let t = boxes(&[
+            [0.0, 0.05, 0.0, 0.0, 1.0, 1.0],
+            [1.0, 0.90, 1.0, 1.0, 2.0, 2.0],
+            [-1.0, 0.99, 0.0, 0.0, 1.0, 1.0], // invalid class
+            [2.0, 0.70, 2.0, 2.0, 3.0, 3.0],
+        ]);
+        let (counts, out) = get_valid_counts(&t, 0.1);
+        assert_eq!(counts.as_i32(), &[2]);
+        let v = out.as_f32();
+        assert_eq!(v[1], 0.90);
+        assert_eq!(v[7], 0.70);
+        assert!(v[12..].iter().all(|&x| x == -1.0));
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let t = boxes(&[
+            [0.0, 0.2, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.9, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.5, 0.0, 0.0, 1.0, 1.0],
+        ]);
+        let (_, out) = get_valid_counts(&t, 0.0);
+        let v = out.as_f32();
+        // compaction is stable: original order 0.2, 0.9, 0.5
+        assert_eq!([v[1], v[7], v[13]], [0.2, 0.9, 0.5]);
+    }
+
+    #[test]
+    fn batches_count_independently() {
+        let mut data = vec![];
+        data.extend_from_slice(&[0.0, 0.9, 0.0, 0.0, 1.0, 1.0]);
+        data.extend_from_slice(&[0.0, 0.01, 0.0, 0.0, 1.0, 1.0]);
+        data.extend_from_slice(&[0.0, 0.8, 0.0, 0.0, 1.0, 1.0]);
+        data.extend_from_slice(&[0.0, 0.7, 0.0, 0.0, 1.0, 1.0]);
+        let t = Tensor::from_vec([2, 2, 6], data);
+        let (counts, _) = get_valid_counts(&t, 0.1);
+        assert_eq!(counts.as_i32(), &[1, 2]);
+    }
+
+    #[test]
+    fn topk_keeps_best_in_score_order() {
+        let t = boxes(&[
+            [0.0, 0.3, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.9, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.6, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.1, 0.0, 0.0, 1.0, 1.0],
+        ]);
+        let out = topk(&t, 2);
+        let v = out.as_f32();
+        assert_eq!([v[1], v[7]], [0.9, 0.6]);
+        assert!(v[12..].iter().all(|&x| x == -1.0));
+    }
+
+    #[test]
+    fn topk_larger_than_population_is_safe() {
+        let t = boxes(&[[0.0, 0.5, 0.0, 0.0, 1.0, 1.0]]);
+        let out = topk(&t, 100);
+        assert_eq!(out.as_f32()[1], 0.5);
+    }
+
+    #[test]
+    fn profile_builds_on_scan() {
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let ps = valid_counts_profiles(24564, &spec);
+        assert!(ps.len() >= 5, "mask + 3 scan stages + scatter");
+    }
+}

@@ -1,0 +1,186 @@
+//! Convolution workload descriptions.
+//!
+//! A *workload* is the shape signature of one convolution layer. It is the
+//! key of the tuning database (§3.2.3: "we maintain a database to store the
+//! results for every convolution workload on each hardware platform") and
+//! the unit over which AutoTVM searches ("convolutions with different data
+//! input shapes may require different optimization schemes", §2.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape signature of a 2-d convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvWorkload {
+    pub batch: usize,
+    pub in_channels: usize,
+    pub out_channels: usize,
+    /// Input spatial size (height, width).
+    pub height: usize,
+    pub width: usize,
+    /// Kernel size (height, width).
+    pub kernel_h: usize,
+    pub kernel_w: usize,
+    pub stride_h: usize,
+    pub stride_w: usize,
+    pub pad_h: usize,
+    pub pad_w: usize,
+    /// Channel groups; `groups == in_channels == out_channels` is depthwise.
+    pub groups: usize,
+}
+
+impl ConvWorkload {
+    /// Square-everything convenience constructor.
+    pub fn square(
+        batch: usize,
+        in_channels: usize,
+        out_channels: usize,
+        size: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        ConvWorkload {
+            batch,
+            in_channels,
+            out_channels,
+            height: size,
+            width: size,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+            groups: 1,
+        }
+    }
+
+    /// Depthwise variant (groups = channels).
+    pub fn depthwise(batch: usize, channels: usize, size: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        let mut w = Self::square(batch, channels, channels, size, kernel, stride, pad);
+        w.groups = channels;
+        w
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.height + 2 * self.pad_h - self.kernel_h) / self.stride_h + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.width + 2 * self.pad_w - self.kernel_w) / self.stride_w + 1
+    }
+
+    /// Input channels per group.
+    pub fn in_ch_per_group(&self) -> usize {
+        self.in_channels / self.groups
+    }
+
+    /// Output channels per group.
+    pub fn out_ch_per_group(&self) -> usize {
+        self.out_channels / self.groups
+    }
+
+    /// True when this is a depthwise convolution.
+    pub fn is_depthwise(&self) -> bool {
+        self.groups > 1 && self.groups == self.in_channels && self.groups == self.out_channels
+    }
+
+    /// Multiply-accumulate count ×2 (the usual FLOP convention).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.batch as f64
+            * self.out_channels as f64
+            * self.out_h() as f64
+            * self.out_w() as f64
+            * self.in_ch_per_group() as f64
+            * self.kernel_h as f64
+            * self.kernel_w as f64
+    }
+
+    /// Output element count.
+    pub fn out_numel(&self) -> usize {
+        self.batch * self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Input tensor shape (`NCHW`).
+    pub fn input_shape(&self) -> [usize; 4] {
+        [self.batch, self.in_channels, self.height, self.width]
+    }
+
+    /// Weight tensor shape (`OIHW`, with `I` per-group).
+    pub fn weight_shape(&self) -> [usize; 4] {
+        [self.out_channels, self.in_ch_per_group(), self.kernel_h, self.kernel_w]
+    }
+
+    /// Output tensor shape (`NCHW`).
+    pub fn output_shape(&self) -> [usize; 4] {
+        [self.batch, self.out_channels, self.out_h(), self.out_w()]
+    }
+
+    /// Stable string key for the tuning database.
+    pub fn key(&self) -> String {
+        format!(
+            "conv2d_n{}c{}o{}h{}w{}k{}x{}s{}x{}p{}x{}g{}",
+            self.batch,
+            self.in_channels,
+            self.out_channels,
+            self.height,
+            self.width,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride_h,
+            self.stride_w,
+            self.pad_h,
+            self.pad_w,
+            self.groups
+        )
+    }
+}
+
+impl std::fmt::Display for ConvWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_first_layer_dims() {
+        // ResNet50 conv1: 7x7/2, 3→64, 224².
+        let w = ConvWorkload::square(1, 3, 64, 224, 7, 2, 3);
+        assert_eq!(w.out_h(), 112);
+        assert_eq!(w.out_w(), 112);
+        assert_eq!(w.output_shape(), [1, 64, 112, 112]);
+        // 2*64*112²*3*49 ≈ 236 MFLOPs
+        assert!((w.flops() - 2.0 * 64.0 * 112.0 * 112.0 * 3.0 * 49.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn depthwise_detection() {
+        let w = ConvWorkload::depthwise(1, 32, 112, 3, 1, 1);
+        assert!(w.is_depthwise());
+        assert_eq!(w.in_ch_per_group(), 1);
+        assert_eq!(w.weight_shape(), [32, 1, 3, 3]);
+        let n = ConvWorkload::square(1, 32, 64, 56, 1, 1, 0);
+        assert!(!n.is_depthwise());
+    }
+
+    #[test]
+    fn key_is_unique_per_shape() {
+        let a = ConvWorkload::square(1, 64, 64, 56, 3, 1, 1);
+        let mut b = a;
+        b.stride_h = 2;
+        assert_ne!(a.key(), b.key());
+        assert_eq!(format!("{a}"), a.key());
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let w = ConvWorkload::square(1, 16, 16, 56, 3, 2, 1);
+        assert_eq!(w.out_h(), 28);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the vision-specific operators: segmented sort, prefix
+//! sum, and NMS invariants over arbitrary inputs.
+
+use proptest::prelude::*;
+use unigpu_ops::vision::nms::{box_nms, iou, naive_nms_profile, NmsConfig};
+use unigpu_ops::vision::scan::{exclusive_scan, hillis_steele, prefix_sum};
+use unigpu_ops::vision::sort::{naive_segment_argsort, segmented_argsort};
+use unigpu_tensor::Tensor;
+
+fn arb_segments() -> impl Strategy<Value = (Vec<f32>, Vec<usize>)> {
+    prop::collection::vec(0usize..40, 1..8).prop_flat_map(|lens| {
+        let n: usize = lens.iter().sum();
+        let mut offsets = vec![0usize];
+        for l in &lens {
+            offsets.push(offsets.last().unwrap() + l);
+        }
+        (
+            prop::collection::vec((0u32..1000).prop_map(|v| v as f32 / 10.0), n..=n.max(1))
+                .prop_map(move |mut v| {
+                    v.truncate(n);
+                    v
+                }),
+            Just(offsets),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn segmented_sort_equals_naive((data, offsets) in arb_segments(), blk in 1usize..6) {
+        let block = 1usize << blk; // 2..32
+        prop_assert_eq!(
+            segmented_argsort(&data, &offsets, block),
+            naive_segment_argsort(&data, &offsets)
+        );
+    }
+
+    #[test]
+    fn segmented_sort_output_is_ranked((data, offsets) in arb_segments()) {
+        let ranks = segmented_argsort(&data, &offsets, 16);
+        for s in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            // ranks within a segment are a permutation of 0..len
+            let mut seen: Vec<i32> = ranks[lo..hi].to_vec();
+            seen.sort_unstable();
+            prop_assert!(seen.iter().enumerate().all(|(i, &r)| r == i as i32));
+            // values in rank order are non-increasing
+            for w in ranks[lo..hi].windows(2) {
+                prop_assert!(data[lo + w[0] as usize] >= data[lo + w[1] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_serial_integers(
+        data in prop::collection::vec(0u32..100, 0..300),
+        p in 1usize..64,
+    ) {
+        // Integer-valued f32 sums are exact up to 2^24: bit-equal comparisons valid.
+        let data: Vec<f32> = data.into_iter().map(|v| v as f32).collect();
+        let mut acc = 0.0f32;
+        let want: Vec<f32> = data.iter().map(|&v| { acc += v; acc }).collect();
+        prop_assert_eq!(prefix_sum(&data, p), want.clone());
+        prop_assert_eq!(hillis_steele(&data), want.clone());
+        if !data.is_empty() {
+            let ex = exclusive_scan(&data, p);
+            prop_assert_eq!(ex[0], 0.0);
+            prop_assert_eq!(&ex[1..], &want[..want.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn nms_postconditions(
+        seeds in prop::collection::vec((0u32..50, 0u32..50, 1u32..20, 1u32..20, 0u32..100, 0u32..3), 1..60),
+        thresh in 0.1f32..0.9,
+    ) {
+        let rows: Vec<f32> = seeds
+            .iter()
+            .flat_map(|&(x, y, w, h, s, c)| {
+                vec![
+                    c as f32,
+                    s as f32 / 100.0,
+                    x as f32,
+                    y as f32,
+                    (x + w) as f32,
+                    (y + h) as f32,
+                ]
+            })
+            .collect();
+        let n = seeds.len();
+        let t = Tensor::from_vec([1, n, 6], rows);
+        let cfg = NmsConfig { iou_threshold: thresh, valid_thresh: 0.005, ..Default::default() };
+        let out = box_nms(&t, &cfg);
+        let v = out.as_f32();
+
+        // 1. valid rows are a prefix, sorted by descending score
+        let mut seen_invalid = false;
+        let mut last_score = f32::INFINITY;
+        let mut kept = vec![];
+        for i in 0..n {
+            let r = &v[i * 6..i * 6 + 6];
+            if r[0] < 0.0 {
+                seen_invalid = true;
+                prop_assert!(r.iter().all(|&x| x == -1.0), "invalid rows are all -1");
+            } else {
+                prop_assert!(!seen_invalid, "valid rows must form a prefix");
+                prop_assert!(r[1] <= last_score, "scores must be non-increasing");
+                last_score = r[1];
+                kept.push((r[0], [r[2], r[3], r[4], r[5]]));
+            }
+        }
+        // 2. no same-class pair above the threshold survives
+        for a in 0..kept.len() {
+            for b in a + 1..kept.len() {
+                if kept[a].0 == kept[b].0 {
+                    prop_assert!(iou(kept[a].1, kept[b].1) <= thresh + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_nms_profile_worsens_with_boxes(n in 10usize..2000) {
+        let small = naive_nms_profile(n, 5);
+        let big = naive_nms_profile(n * 2, 5);
+        prop_assert!(big.total_flops() > small.total_flops());
+    }
+}

@@ -1,0 +1,54 @@
+//! Approximate floating-point comparison helpers used by tests across the
+//! workspace (schedule-equivalence property tests compare tiled kernels
+//! against reference kernels, which reassociate float sums).
+
+use crate::Tensor;
+
+/// True if `|a-b| <= atol + rtol*|b|` element-wise (NumPy `allclose` contract).
+pub fn allclose(a: &Tensor, b: &Tensor, rtol: f32, atol: f32) -> bool {
+    if a.shape() != b.shape() {
+        return false;
+    }
+    a.as_f32()
+        .iter()
+        .zip(b.as_f32())
+        .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+/// Largest absolute element-wise difference. Panics on shape mismatch.
+pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in max_abs_diff");
+    a.as_f32()
+        .iter()
+        .zip(b.as_f32())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_tensors_compare_equal() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![1.0 + 1e-7, 2.0, 3.0 - 1e-7]);
+        assert!(allclose(&a, &b, 1e-5, 1e-6));
+        assert!(max_abs_diff(&a, &b) < 2e-7);
+    }
+
+    #[test]
+    fn far_tensors_compare_unequal() {
+        let a = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2], vec![1.0, 2.5]);
+        assert!(!allclose(&a, &b, 1e-5, 1e-6));
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_close() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(!allclose(&a, &b, 1e-5, 1e-6));
+    }
+}

@@ -1,0 +1,68 @@
+//! Element data types supported by the stack.
+//!
+//! The paper's inference path is fp32 end-to-end (quantization is explicitly
+//! listed as out of scope / future work in §5), so `F32` is the workhorse.
+//! `I32` carries index-like payloads (argsort results, NMS valid counts) and
+//! `U8` is provided for raw image input buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar element type of a [`crate::Tensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float — the inference compute type.
+    F32,
+    /// 32-bit signed integer — indices, counts.
+    I32,
+    /// 8-bit unsigned integer — raw image bytes.
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes, used by the device memory model.
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Short lowercase name matching TVM conventions (`float32`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "float32",
+            DType::I32 => "int32",
+            DType::U8 => "uint8",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::I32.size_of(), 4);
+        assert_eq!(DType::U8.size_of(), 1);
+    }
+
+    #[test]
+    fn names_roundtrip_display() {
+        for d in [DType::F32, DType::I32, DType::U8] {
+            assert_eq!(format!("{d}"), d.name());
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", DType::I32), "I32");
+    }
+}

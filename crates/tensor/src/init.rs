@@ -1,0 +1,98 @@
+//! Deterministic, seeded weight initializers.
+//!
+//! The paper pulls pre-trained GluonCV weights; this reproduction measures
+//! latency (which depends only on shapes), so weights are random but
+//! **deterministic**: every table regenerates bit-identically.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight/activation initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Uniform in `[lo, hi)`.
+    Uniform { lo: f32, hi: f32 },
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6/(fan_in+fan_out))`.
+    Xavier,
+    /// All zeros.
+    Zeros,
+    /// All ones.
+    Ones,
+}
+
+impl Initializer {
+    /// Materialize a tensor of `shape` under this scheme with a fixed seed.
+    pub fn init(self, shape: impl Into<crate::Shape>, seed: u64) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        match self {
+            Initializer::Zeros => Tensor::new(shape, crate::Storage::F32(vec![0.0; n])),
+            Initializer::Ones => Tensor::new(shape, crate::Storage::F32(vec![1.0; n])),
+            Initializer::Uniform { lo, hi } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+                Tensor::new(shape, crate::Storage::F32(data))
+            }
+            Initializer::Xavier => {
+                // fan_in/fan_out estimated from the shape: for OIHW conv weights
+                // fan_in = I*kh*kw, fan_out = O*kh*kw; for matrices the two dims.
+                let dims = shape.dims();
+                let (fan_in, fan_out) = match dims.len() {
+                    4 => {
+                        let rf = dims[2] * dims[3];
+                        (dims[1] * rf, dims[0] * rf)
+                    }
+                    2 => (dims[1], dims[0]),
+                    _ => {
+                        let n = shape.numel().max(1);
+                        (n, n)
+                    }
+                };
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let data = (0..n).map(|_| rng.gen_range(-a..a)).collect();
+                Tensor::new(shape, crate::Storage::F32(data))
+            }
+        }
+    }
+}
+
+/// Convenience: uniform random tensor in `[0,1)` with a fixed seed.
+pub fn random_uniform(shape: impl Into<crate::Shape>, seed: u64) -> Tensor {
+    Initializer::Uniform { lo: 0.0, hi: 1.0 }.init(shape, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = random_uniform([4, 4], 7);
+        let b = random_uniform([4, 4], 7);
+        assert_eq!(a, b);
+        let c = random_uniform([4, 4], 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let t = Initializer::Xavier.init([16, 8, 3, 3], 1);
+        let a = (6.0 / ((8 * 9 + 16 * 9) as f32)).sqrt();
+        assert!(t.as_f32().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        assert!(Initializer::Zeros.init([3], 0).as_f32().iter().all(|&x| x == 0.0));
+        assert!(Initializer::Ones.init([3], 0).as_f32().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn xavier_on_matrix_uses_dims() {
+        let t = Initializer::Xavier.init([10, 20], 3);
+        let a = (6.0 / 30.0_f32).sqrt();
+        assert!(t.as_f32().iter().all(|&x| x.abs() < a));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: layout transformations are lossless bijections on the
+//! logical (unpadded) element set, for arbitrary shapes and block sizes.
+
+use proptest::prelude::*;
+use unigpu_tensor::layout::{
+    blocked_to_oihw, convert, nchw_to_nchwc, nchw_to_nhwc, nchwc_to_nchw, nhwc_to_nchw,
+    oihw_to_blocked,
+};
+use unigpu_tensor::{Layout, Shape, Tensor};
+
+fn arb_nchw() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (1usize..3, 1usize..17, 1usize..6, 1usize..6)
+}
+
+fn seq(dims: [usize; 4]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(dims, (0..n).map(|x| (x % 251) as f32).collect())
+}
+
+proptest! {
+    #[test]
+    fn nchwc_round_trip((n, c, h, w) in arb_nchw(), block in 1usize..9) {
+        let t = seq([n, c, h, w]);
+        let b = nchw_to_nchwc(&t, block);
+        prop_assert_eq!(b.shape().dims()[1], c.div_ceil(block));
+        prop_assert_eq!(nchwc_to_nchw(&b, c), t);
+    }
+
+    #[test]
+    fn nhwc_round_trip((n, c, h, w) in arb_nchw()) {
+        let t = seq([n, c, h, w]);
+        prop_assert_eq!(nhwc_to_nchw(&nchw_to_nhwc(&t)), t);
+    }
+
+    #[test]
+    fn convert_any_path_preserves_data(
+        (n, c, h, w) in arb_nchw(),
+        b1 in 1usize..9,
+        b2 in 1usize..9,
+    ) {
+        let t = seq([n, c, h, w]);
+        // NCHW -> NCHWc(b1) -> NHWC -> NCHWc(b2) -> NCHW must be identity.
+        let x = convert(&t, Layout::NCHW, Layout::NCHWc(b1), c);
+        let x = convert(&x, Layout::NCHWc(b1), Layout::NHWC, c);
+        let x = convert(&x, Layout::NHWC, Layout::NCHWc(b2), c);
+        let x = convert(&x, Layout::NCHWc(b2), Layout::NCHW, c);
+        prop_assert_eq!(x, t);
+    }
+
+    #[test]
+    fn weight_blocking_round_trip(
+        o in 1usize..17, i in 1usize..17,
+        kh in 1usize..4, kw in 1usize..4,
+        ob in 1usize..9, ib in 1usize..9,
+    ) {
+        let t = seq([o, i, kh, kw]);
+        let b = oihw_to_blocked(&t, ob, ib);
+        prop_assert_eq!(blocked_to_oihw(&b, o, i), t);
+    }
+
+    #[test]
+    fn offset_unravel_inverse(dims in proptest::collection::vec(1usize..7, 1..5)) {
+        let s = Shape::new(dims);
+        for off in 0..s.numel() {
+            prop_assert_eq!(s.offset(&s.unravel(off)), off);
+        }
+    }
+
+    #[test]
+    fn blocked_padding_is_zero((n, c, h, w) in arb_nchw(), block in 2usize..9) {
+        let t = Tensor::full([n, c, h, w], 1.0);
+        let b = nchw_to_nchwc(&t, block);
+        let (_, cb, _, _, blk) = b.shape().nchwc();
+        let total = cb * blk;
+        // every padded channel slot must be exactly zero
+        for ci in c..total {
+            let (co, cil) = (ci / blk, ci % blk);
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        prop_assert_eq!(b.at(&[ni, co, hi, wi, cil]), 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Feature extraction for the surrogate cost model.
+//!
+//! Encodes a (workload, config, device) triple as a fixed-width numeric
+//! vector. The knobs themselves appear in log scale plus derived quantities
+//! the real cost depends on (occupancy, arithmetic-intensity proxies,
+//! alignment) so shallow trees can carve the space efficiently — the same
+//! philosophy as AutoTVM's knob+curve features.
+
+use unigpu_device::DeviceSpec;
+use unigpu_ops::conv::ConvConfig;
+use unigpu_ops::ConvWorkload;
+
+/// Feature vector width.
+pub const CONV_FEATURE_DIM: usize = 14;
+
+fn lg(x: f64) -> f64 {
+    (x + 1.0).log2()
+}
+
+/// Featurize one candidate configuration.
+pub fn conv_features(w: &ConvWorkload, cfg: &ConvConfig, spec: &DeviceSpec) -> [f64; CONV_FEATURE_DIM] {
+    let items = cfg.work_items(w) as f64;
+    let conc = spec.max_concurrency() as f64;
+    let wg = cfg.workgroup_size();
+    [
+        lg(cfg.tile_oc as f64),
+        lg(cfg.tile_oh as f64),
+        lg(cfg.tile_ow as f64),
+        lg(cfg.vector_width as f64),
+        lg(cfg.unroll as f64),
+        lg(wg as f64),
+        cfg.use_subgroup as u8 as f64,
+        cfg.use_slm as u8 as f64,
+        lg(items),
+        (items / conc).min(8.0),                       // occupancy proxy
+        (wg % spec.simd_width == 0) as u8 as f64,      // warp/SIMD alignment
+        lg(cfg.tile_size() as f64),                    // register-tile footprint
+        (w.out_channels % cfg.tile_oc != 0) as u8 as f64 // guard presence
+            + (w.out_w() % cfg.tile_ow != 0) as u8 as f64,
+        lg(w.flops()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_device::DeviceSpec;
+
+    #[test]
+    fn features_have_stable_width() {
+        let w = ConvWorkload::square(1, 32, 32, 14, 3, 1, 1);
+        let f = conv_features(&w, &ConvConfig::default_schedule(), &DeviceSpec::mali_t860());
+        assert_eq!(f.len(), CONV_FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_configs_get_different_features() {
+        let w = ConvWorkload::square(1, 32, 32, 14, 3, 1, 1);
+        let spec = DeviceSpec::intel_hd505();
+        let a = conv_features(&w, &ConvConfig::default_schedule(), &spec);
+        let mut cfg = ConvConfig::default_schedule();
+        cfg.tile_oc = 8;
+        cfg.use_subgroup = true;
+        let b = conv_features(&w, &cfg, &spec);
+        assert_ne!(a, b);
+    }
+}

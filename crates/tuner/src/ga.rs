@@ -1,0 +1,177 @@
+//! Genetic-algorithm tuner — AutoTVM ships one alongside random/GBT search;
+//! useful when the surrogate's features fit a workload poorly.
+//!
+//! Standard generational GA over config indices: tournament selection,
+//! per-knob uniform crossover (the radix decomposition makes knobs the
+//! natural genes), point mutation, elitism.
+
+use crate::measure::Measurer;
+use crate::tuners::{TuneResult, Tuner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unigpu_ops::conv::ConfigSpace;
+use unigpu_ops::ConvWorkload;
+
+/// Generational genetic-algorithm tuner.
+pub struct GaTuner {
+    rng: StdRng,
+    pub population: usize,
+    pub elite: usize,
+    pub mutation_prob: f64,
+}
+
+impl GaTuner {
+    pub fn new(seed: u64) -> Self {
+        GaTuner { rng: StdRng::seed_from_u64(seed), population: 16, elite: 4, mutation_prob: 0.15 }
+    }
+
+    fn decompose(idx: usize, radix: &[usize]) -> Vec<usize> {
+        let mut digits = Vec::with_capacity(radix.len());
+        let mut rest = idx;
+        for &r in radix {
+            digits.push(rest % r);
+            rest /= r;
+        }
+        digits
+    }
+
+    fn compose(digits: &[usize], radix: &[usize]) -> usize {
+        let mut out = 0usize;
+        for (d, r) in digits.iter().zip(radix).rev() {
+            out = out * r + d;
+        }
+        out
+    }
+
+    /// Uniform crossover + mutation over the knob digits.
+    fn breed(&mut self, a: usize, b: usize, radix: &[usize]) -> usize {
+        let da = Self::decompose(a, radix);
+        let db = Self::decompose(b, radix);
+        let mut child = Vec::with_capacity(radix.len());
+        for k in 0..radix.len() {
+            let gene = if self.rng.gen_bool(0.5) { da[k] } else { db[k] };
+            let gene = if self.rng.gen_bool(self.mutation_prob) {
+                self.rng.gen_range(0..radix[k])
+            } else {
+                gene
+            };
+            child.push(gene);
+        }
+        Self::compose(&child, radix)
+    }
+
+    /// Tournament-of-2 selection by fitness (lower cost wins).
+    fn select(&mut self, scored: &[(usize, f64)]) -> usize {
+        let a = self.rng.gen_range(0..scored.len());
+        let b = self.rng.gen_range(0..scored.len());
+        if scored[a].1 <= scored[b].1 {
+            scored[a].0
+        } else {
+            scored[b].0
+        }
+    }
+}
+
+impl Tuner for GaTuner {
+    fn tune(
+        &mut self,
+        w: &ConvWorkload,
+        space: &ConfigSpace,
+        measurer: &mut dyn Measurer,
+        budget: usize,
+    ) -> TuneResult {
+        let radix = space.radix();
+        let mut history: Vec<(usize, f64)> = Vec::with_capacity(budget);
+        // initial population
+        let mut population: Vec<(usize, f64)> = Vec::new();
+        let init = self.population.min(budget);
+        for _ in 0..init {
+            let idx = self.rng.gen_range(0..space.len());
+            let cost = measurer.measure(w, &space.get(idx));
+            population.push((idx, cost));
+            history.push((idx, cost));
+        }
+        while history.len() < budget {
+            population.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let mut next: Vec<(usize, f64)> =
+                population.iter().take(self.elite).cloned().collect();
+            while next.len() < self.population && history.len() + next.len() - self.elite < budget
+            {
+                let pa = self.select(&population);
+                let pb = self.select(&population);
+                let child = self.breed(pa, pb, &radix);
+                let cost = measurer.measure(w, &space.get(child));
+                history.push((child, cost));
+                next.push((child, cost));
+                if history.len() >= budget {
+                    break;
+                }
+            }
+            population = next;
+        }
+        let &(best_idx, best_cost) = history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let trials = history.len();
+        TuneResult { best_config: space.get(best_idx), best_cost_ms: best_cost, trials, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::SimMeasurer;
+    use crate::tuners::RandomTuner;
+    use unigpu_device::DeviceSpec;
+    use unigpu_ops::conv::ConvConfig;
+
+    fn setup() -> (ConvWorkload, ConfigSpace) {
+        let w = ConvWorkload::square(1, 128, 128, 28, 3, 1, 1);
+        let spec = DeviceSpec::mali_t860();
+        (w, ConfigSpace::build(&w, &spec))
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let (_, space) = setup();
+        let radix = space.radix();
+        for idx in (0..space.len()).step_by(37) {
+            let d = GaTuner::decompose(idx, &radix);
+            assert_eq!(GaTuner::compose(&d, &radix), idx);
+        }
+    }
+
+    #[test]
+    fn ga_improves_over_default_schedule() {
+        let (w, space) = setup();
+        let mut m = SimMeasurer::new(DeviceSpec::mali_t860(), 0.0, 21);
+        let r = GaTuner::new(21).tune(&w, &space, &mut m, 128);
+        let default_cost = m.true_cost(&w, &ConvConfig::default_schedule());
+        assert!(r.best_cost_ms < default_cost);
+        assert_eq!(r.trials, 128);
+    }
+
+    #[test]
+    fn ga_is_competitive_with_random() {
+        let (w, space) = setup();
+        let mut m1 = SimMeasurer::new(DeviceSpec::mali_t860(), 0.0, 22);
+        let ga = GaTuner::new(22).tune(&w, &space, &mut m1, 96);
+        let mut m2 = SimMeasurer::new(DeviceSpec::mali_t860(), 0.0, 22);
+        let rnd = RandomTuner::new(22).tune(&w, &space, &mut m2, 96);
+        assert!(ga.best_cost_ms <= rnd.best_cost_ms * 1.25, "{} vs {}", ga.best_cost_ms, rnd.best_cost_ms);
+    }
+
+    #[test]
+    fn children_stay_in_space() {
+        let (_, space) = setup();
+        let mut ga = GaTuner::new(5);
+        let radix = space.radix();
+        for _ in 0..500 {
+            let a = ga.rng.gen_range(0..space.len());
+            let b = ga.rng.gen_range(0..space.len());
+            let c = ga.breed(a, b, &radix);
+            assert!(c < space.len());
+        }
+    }
+}

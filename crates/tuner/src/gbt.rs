@@ -1,0 +1,217 @@
+//! Gradient-boosted regression trees — the surrogate cost model.
+//!
+//! A compact, dependency-free stand-in for AutoTVM's XGBoost ranker:
+//! least-squares gradient boosting over depth-limited CART regression
+//! trees. Targets are `log(cost)` in practice (the tuner's choice), which
+//! makes the ranking robust to the heavy right tail of bad schedules.
+
+/// One node of a regression tree (indices into the arena).
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf(f64),
+    Split { feature: usize, thresh: f64, left: usize, right: usize },
+}
+
+/// A depth-limited CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegressionTree {
+    /// Fit by greedy variance reduction.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], idx: &[usize], max_depth: usize, min_leaf: usize) -> Self {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.build(xs, ys, idx, max_depth, min_leaf);
+        tree
+    }
+
+    fn build(&mut self, xs: &[Vec<f64>], ys: &[f64], idx: &[usize], depth: usize, min_leaf: usize) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len().max(1) as f64;
+        if depth == 0 || idx.len() < 2 * min_leaf {
+            self.nodes.push(TreeNode::Leaf(mean));
+            return self.nodes.len() - 1;
+        }
+        // Best split: minimize weighted child variance.
+        let dim = xs[0].len();
+        let total_sq: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
+        let total_sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+        let n = idx.len() as f64;
+        let base_sse = total_sq - total_sum * total_sum / n;
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, thresh, sse)
+        for f in 0..dim {
+            let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            let mut lcount = 0.0;
+            for k in 0..vals.len() - 1 {
+                lsum += vals[k].1;
+                lsq += vals[k].1 * vals[k].1;
+                lcount += 1.0;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // can't split between equal feature values
+                }
+                if (lcount as usize) < min_leaf || (vals.len() - lcount as usize) < min_leaf {
+                    continue;
+                }
+                let rsum = total_sum - lsum;
+                let rsq = total_sq - lsq;
+                let rcount = n - lcount;
+                let sse = (lsq - lsum * lsum / lcount) + (rsq - rsum * rsum / rcount);
+                if best.map_or(sse < base_sse - 1e-12, |(_, _, b)| sse < b) {
+                    best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, sse));
+                }
+            }
+        }
+        let Some((feature, thresh, _)) = best else {
+            self.nodes.push(TreeNode::Leaf(mean));
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= thresh);
+        // Reserve our slot before children so the root is node 0.
+        let slot = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf(0.0)); // placeholder
+        let left = self.build(xs, ys, &li, depth - 1, min_leaf);
+        let right = self.build(xs, ys, &ri, depth - 1, min_leaf);
+        self.nodes[slot] = TreeNode::Split { feature, thresh, left, right };
+        slot
+    }
+
+    /// Predict one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut cur = if self.nodes.is_empty() { return 0.0 } else { self.root() };
+        loop {
+            match &self.nodes[cur] {
+                TreeNode::Leaf(v) => return *v,
+                TreeNode::Split { feature, thresh, left, right } => {
+                    cur = if x[*feature] <= *thresh { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn root(&self) -> usize {
+        // build() pushes the root either first (leaf) or reserves slot 0
+        0
+    }
+}
+
+/// Gradient-boosted ensemble.
+#[derive(Debug, Clone, Default)]
+pub struct Gbt {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+}
+
+impl Gbt {
+    /// Fit `n_trees` of depth `depth` with shrinkage `lr`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, depth: usize, lr: f64) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit on zero samples");
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut model = Gbt { base, trees: Vec::new(), learning_rate: lr };
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut residual: Vec<f64> = ys.iter().map(|&y| y - base).collect();
+        for _ in 0..n_trees {
+            let tree = RegressionTree::fit(xs, &residual, &idx, depth, 2);
+            for (i, r) in residual.iter_mut().enumerate() {
+                *r -= lr * tree.predict(&xs[i]);
+            }
+            model.trees.push(tree);
+        }
+        model
+    }
+
+    /// Predict one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of trees fitted.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if no trees were fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_tree_fits_a_step_function() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let idx: Vec<usize> = (0..40).collect();
+        let t = RegressionTree::fit(&xs, &ys, &idx, 2, 2);
+        assert!((t.predict(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[33.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ensemble_learns_nonlinear_surface() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * (x[1] > 0.5) as u8 as f64 + x[0] * x[1];
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+        let m = Gbt::fit(&xs, &ys, 80, 3, 0.2);
+        // R² on training data should be high
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - m.predict(x)).powi(2))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.9, "R² = {r2}");
+    }
+
+    #[test]
+    fn ranking_quality_on_held_out_points() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = |x: &[f64]| (x[0] - 0.5).abs() * 10.0 + x[1];
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+        let m = Gbt::fit(&xs, &ys, 60, 3, 0.2);
+        // Pairwise ranking accuracy on fresh points
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let a = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let b = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            if (f(&a) - f(&b)).abs() < 0.5 {
+                continue;
+            }
+            total += 1;
+            if (m.predict(&a) < m.predict(&b)) == (f(&a) < f(&b)) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "ranking accuracy {acc}");
+    }
+
+    #[test]
+    fn constant_targets_fit_exactly() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![2.5; 10];
+        let m = Gbt::fit(&xs, &ys, 5, 2, 0.3);
+        assert!((m.predict(&[4.0]) - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph-level layout tuning (§3.2.3, following Liu et al. [26]).
+//!
+//! The fastest kernel for each convolution may want a different blocked
+//! layout (`NCHWc` with `c = tile_oc`) than its neighbours, and every layout
+//! change inserts a transform with real cost. "The graph tuner uses dynamic
+//! programming to examine the trade-off between optimized kernels and data
+//! layout transformation overheads."
+//!
+//! For a chain of layers with per-layer candidate schedules, the DP is
+//! `dp[i][j] = kernel[i][j] + min_k (dp[i-1][k] + transform(k → j))`,
+//! which is optimal in `O(Σ candidates²)`.
+
+use unigpu_device::{CostModel, DeviceSpec};
+use unigpu_ops::conv::ConvConfig;
+use unigpu_ops::nn::eltwise_profile;
+use unigpu_ops::ConvWorkload;
+
+/// One candidate schedule for a layer, with its measured kernel cost.
+#[derive(Debug, Clone)]
+pub struct LayerCandidate {
+    pub config: ConvConfig,
+    pub kernel_ms: f64,
+}
+
+impl LayerCandidate {
+    /// The activation layout this schedule produces/prefers: channel block
+    /// equals the schedule's output-channel tile.
+    pub fn layout_block(&self) -> usize {
+        self.config.tile_oc
+    }
+}
+
+/// One layer of the chain: its workload plus candidate schedules.
+#[derive(Debug, Clone)]
+pub struct ChainLayer {
+    pub workload: ConvWorkload,
+    pub candidates: Vec<LayerCandidate>,
+}
+
+/// Cost of converting a layer's output tensor between two blocked layouts.
+pub fn transform_ms(numel: usize, spec: &DeviceSpec) -> f64 {
+    let model = CostModel::new(spec.clone());
+    model.kernel_time_ms(&eltwise_profile("layout_transform", numel, 0.0))
+}
+
+/// Result of the chain DP.
+#[derive(Debug, Clone)]
+pub struct ChainPlan {
+    /// Chosen candidate index per layer.
+    pub choice: Vec<usize>,
+    /// Total cost (kernels + transforms) in ms.
+    pub total_ms: f64,
+    /// Number of layout-transform insertions.
+    pub transforms: usize,
+}
+
+/// Optimal schedule selection over a chain of layers.
+///
+/// # Panics
+/// Panics if any layer has no candidates.
+pub fn optimize_chain(layers: &[ChainLayer], spec: &DeviceSpec) -> ChainPlan {
+    assert!(!layers.is_empty(), "empty chain");
+    for (i, l) in layers.iter().enumerate() {
+        assert!(!l.candidates.is_empty(), "layer {i} has no candidates");
+    }
+    // dp[j] = best cost ending at current layer with candidate j
+    let mut dp: Vec<f64> = layers[0].candidates.iter().map(|c| c.kernel_ms).collect();
+    // back-pointers per layer
+    let mut back: Vec<Vec<usize>> = vec![vec![0; dp.len()]];
+
+    for i in 1..layers.len() {
+        let prev_out_numel = layers[i - 1].workload.out_numel();
+        let t_ms = transform_ms(prev_out_numel, spec);
+        let mut next = Vec::with_capacity(layers[i].candidates.len());
+        let mut bp = Vec::with_capacity(layers[i].candidates.len());
+        for cj in &layers[i].candidates {
+            let mut best = f64::INFINITY;
+            let mut arg = 0;
+            for (k, ck) in layers[i - 1].candidates.iter().enumerate() {
+                let trans = if ck.layout_block() == cj.layout_block() { 0.0 } else { t_ms };
+                let cost = dp[k] + trans;
+                if cost < best {
+                    best = cost;
+                    arg = k;
+                }
+            }
+            next.push(best + cj.kernel_ms);
+            bp.push(arg);
+        }
+        dp = next;
+        back.push(bp);
+    }
+
+    // trace back
+    let (mut j, &total) = dp
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let mut choice = vec![0usize; layers.len()];
+    for i in (0..layers.len()).rev() {
+        choice[i] = j;
+        j = back[i][j];
+    }
+    let transforms = choice
+        .windows(2)
+        .zip(layers.windows(2))
+        .filter(|(c, l)| {
+            l[0].candidates[c[0]].layout_block() != l[1].candidates[c[1]].layout_block()
+        })
+        .count();
+    ChainPlan { choice, total_ms: total, transforms }
+}
+
+/// The greedy baseline (pick each layer's fastest kernel independently) —
+/// what a purely tensor-level tuner would do. Used by tests and the ablation
+/// bench to show the DP's advantage.
+pub fn greedy_chain(layers: &[ChainLayer], spec: &DeviceSpec) -> ChainPlan {
+    let choice: Vec<usize> = layers
+        .iter()
+        .map(|l| {
+            l.candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.kernel_ms.partial_cmp(&b.1.kernel_ms).unwrap())
+                .unwrap()
+                .0
+        })
+        .collect();
+    let mut total: f64 = layers
+        .iter()
+        .zip(&choice)
+        .map(|(l, &c)| l.candidates[c].kernel_ms)
+        .sum();
+    let mut transforms = 0;
+    for i in 1..layers.len() {
+        if layers[i - 1].candidates[choice[i - 1]].layout_block()
+            != layers[i].candidates[choice[i]].layout_block()
+        {
+            total += transform_ms(layers[i - 1].workload.out_numel(), spec);
+            transforms += 1;
+        }
+    }
+    ChainPlan { choice, total_ms: total, transforms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_device::DeviceSpec;
+
+    fn cand(tile_oc: usize, ms: f64) -> LayerCandidate {
+        LayerCandidate {
+            config: ConvConfig { tile_oc, ..ConvConfig::default_schedule() },
+            kernel_ms: ms,
+        }
+    }
+
+    fn layer(cands: Vec<LayerCandidate>) -> ChainLayer {
+        ChainLayer {
+            workload: ConvWorkload::square(1, 64, 64, 56, 3, 1, 1),
+            candidates: cands,
+        }
+    }
+
+    #[test]
+    fn dp_prefers_consistent_layouts_when_transforms_are_costly() {
+        let spec = DeviceSpec::mali_t860();
+        let t = transform_ms(64 * 56 * 56, &spec);
+        assert!(t > 0.0);
+        // layer A: block-8 slightly faster; layer B: block-4 slightly faster.
+        // Mixing costs a transform worth more than the kernel gains.
+        let eps = t / 10.0;
+        let layers = vec![
+            layer(vec![cand(8, 1.0), cand(4, 1.0 + eps)]),
+            layer(vec![cand(8, 1.0 + eps), cand(4, 1.0)]),
+        ];
+        let plan = optimize_chain(&layers, &spec);
+        assert_eq!(plan.transforms, 0, "DP should keep one layout");
+        let blocks: Vec<usize> = plan
+            .choice
+            .iter()
+            .zip(&layers)
+            .map(|(&c, l)| l.candidates[c].layout_block())
+            .collect();
+        assert_eq!(blocks[0], blocks[1]);
+        // greedy pays the transform
+        let greedy = greedy_chain(&layers, &spec);
+        assert_eq!(greedy.transforms, 1);
+        assert!(plan.total_ms < greedy.total_ms);
+    }
+
+    #[test]
+    fn dp_mixes_layouts_when_kernel_gains_dominate() {
+        let spec = DeviceSpec::mali_t860();
+        let t = transform_ms(64 * 56 * 56, &spec);
+        // huge kernel gain from switching: DP must take the transform
+        let layers = vec![
+            layer(vec![cand(8, 1.0)]),
+            layer(vec![cand(8, 10.0 * (t + 1.0)), cand(4, 1.0)]),
+        ];
+        let plan = optimize_chain(&layers, &spec);
+        assert_eq!(plan.transforms, 1);
+        let blocks: Vec<usize> = plan
+            .choice
+            .iter()
+            .zip(&layers)
+            .map(|(&c, l)| l.candidates[c].layout_block())
+            .collect();
+        assert_eq!(blocks, vec![8, 4]);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_chains() {
+        let spec = DeviceSpec::intel_hd505();
+        let layers = vec![
+            layer(vec![cand(4, 2.0), cand(8, 1.5), cand(16, 1.2)]),
+            layer(vec![cand(4, 1.0), cand(8, 1.1), cand(16, 3.0)]),
+            layer(vec![cand(4, 0.4), cand(8, 2.0), cand(16, 0.5)]),
+        ];
+        let plan = optimize_chain(&layers, &spec);
+        // exhaustive
+        let t01 = transform_ms(layers[0].workload.out_numel(), &spec);
+        let t12 = transform_ms(layers[1].workload.out_numel(), &spec);
+        let mut best = f64::INFINITY;
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let mut cost = layers[0].candidates[a].kernel_ms
+                        + layers[1].candidates[b].kernel_ms
+                        + layers[2].candidates[c].kernel_ms;
+                    if layers[0].candidates[a].layout_block()
+                        != layers[1].candidates[b].layout_block()
+                    {
+                        cost += t01;
+                    }
+                    if layers[1].candidates[b].layout_block()
+                        != layers[2].candidates[c].layout_block()
+                    {
+                        cost += t12;
+                    }
+                    best = best.min(cost);
+                }
+            }
+        }
+        assert!((plan.total_ms - best).abs() < 1e-12, "DP {} vs exhaustive {best}", plan.total_ms);
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        let spec = DeviceSpec::maxwell_nano();
+        for seed in 0..20u64 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layers: Vec<ChainLayer> = (0..6)
+                .map(|_| {
+                    layer(
+                        (0..4)
+                            .map(|_| {
+                                cand(
+                                    [4usize, 8, 16][rng.gen_range(0..3)],
+                                    rng.gen_range(0.2..5.0),
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let dp = optimize_chain(&layers, &spec);
+            let gr = greedy_chain(&layers, &spec);
+            assert!(
+                dp.total_ms <= gr.total_ms + 1e-12,
+                "seed {seed}: dp {} > greedy {}",
+                dp.total_ms,
+                gr.total_ms
+            );
+        }
+    }
+
+    #[test]
+    fn single_layer_chain_picks_fastest() {
+        let spec = DeviceSpec::intel_hd505();
+        let layers = vec![layer(vec![cand(4, 3.0), cand(8, 1.0), cand(16, 2.0)])];
+        let plan = optimize_chain(&layers, &spec);
+        assert_eq!(plan.choice, vec![1]);
+        assert_eq!(plan.transforms, 0);
+    }
+}

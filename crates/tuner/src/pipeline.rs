@@ -1,0 +1,222 @@
+//! End-to-end tuning pipeline: tensor-level search per workload (AutoTVM)
+//! followed by graph-level layout selection (GraphTuner), producing the
+//! tuning database consumed by the latency estimator.
+
+use crate::graph_tuner::{optimize_chain, ChainLayer, LayerCandidate};
+use crate::measure::SimMeasurer;
+use crate::records::{Database, TuneRecord};
+use crate::tuners::{ModelBasedTuner, Tuner};
+use std::collections::HashMap;
+use unigpu_device::DeviceSpec;
+use unigpu_graph::{Graph, OpKind, ScheduleProvider};
+use unigpu_ops::conv::{ConfigSpace, ConvConfig};
+use unigpu_ops::ConvWorkload;
+
+/// Tuning effort knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TuningBudget {
+    /// Measurements per distinct convolution workload.
+    pub trials_per_workload: usize,
+    /// Relative measurement noise (0 = deterministic).
+    pub noise: f64,
+    pub seed: u64,
+    /// Top-k candidates per layer handed to the graph tuner.
+    pub graph_candidates: usize,
+}
+
+impl Default for TuningBudget {
+    fn default() -> Self {
+        TuningBudget { trials_per_workload: 128, noise: 0.0, seed: 2019, graph_candidates: 4 }
+    }
+}
+
+/// Collect the distinct conv workloads of a graph, in topological order
+/// (with repetition order preserved for the chain view).
+pub fn conv_workloads(g: &Graph) -> Vec<ConvWorkload> {
+    g.nodes
+        .iter()
+        .filter_map(|n| match &n.op {
+            OpKind::Conv2d { w, .. } => Some(*w),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Tune every convolution workload of `graph` for `spec`.
+///
+/// Returns the database of best-found schedules. Tensor-level search runs
+/// once per *distinct* workload (the database's whole point); the graph
+/// tuner then re-selects among each layer's top candidates to minimize
+/// kernel + layout-transform cost over the model's conv chain.
+pub fn tune_graph(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Database {
+    let chain_wls = conv_workloads(graph);
+    let mut db = Database::new();
+    // per distinct workload: (top candidates sorted by cost)
+    let mut candidates: HashMap<String, Vec<LayerCandidate>> = HashMap::new();
+
+    let mut distinct: Vec<ConvWorkload> = Vec::new();
+    for w in &chain_wls {
+        if !distinct.iter().any(|d| d.key() == w.key()) {
+            distinct.push(*w);
+        }
+    }
+
+    for (i, w) in distinct.iter().enumerate() {
+        let space = ConfigSpace::build(w, spec);
+        let mut measurer = SimMeasurer::new(spec.clone(), budget.noise, budget.seed ^ (i as u64));
+        let mut tuner = ModelBasedTuner::new(budget.seed.wrapping_add(i as u64));
+        let result = tuner.tune(w, &space, &mut measurer, budget.trials_per_workload);
+
+        // top-k distinct configs by true (noise-free) cost
+        let mut hist = result.history.clone();
+        hist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        hist.dedup_by_key(|h| h.0);
+        let top: Vec<LayerCandidate> = hist
+            .iter()
+            .take(budget.graph_candidates.max(1))
+            .map(|&(idx, _)| {
+                let config = space.get(idx);
+                LayerCandidate { config, kernel_ms: measurer.true_cost(w, &config) }
+            })
+            .collect();
+        candidates.insert(w.key(), top.clone());
+
+        db.insert(TuneRecord {
+            device: spec.name.clone(),
+            workload: w.key(),
+            config: result.best_config,
+            cost_ms: measurer.true_cost(w, &result.best_config),
+            trials: result.trials,
+        });
+    }
+
+    // ---- graph-level layout DP over the conv chain ----
+    if chain_wls.len() >= 2 {
+        let layers: Vec<ChainLayer> = chain_wls
+            .iter()
+            .map(|w| ChainLayer { workload: *w, candidates: candidates[&w.key()].clone() })
+            .collect();
+        let plan = optimize_chain(&layers, spec);
+        // Record the graph-tuned choice per workload (first occurrence wins:
+        // repeated workloads overwhelmingly sit in identical neighbourhoods).
+        let mut chosen: HashMap<String, (ConvConfig, f64)> = HashMap::new();
+        for (layer, &c) in layers.iter().zip(&plan.choice) {
+            chosen
+                .entry(layer.workload.key())
+                .or_insert_with(|| {
+                    let cand = &layer.candidates[c];
+                    (cand.config, cand.kernel_ms)
+                });
+        }
+        for w in &distinct {
+            if let Some(&(config, cost_ms)) = chosen.get(&w.key()) {
+                // Replace even if marginally slower at tensor level: the
+                // chain total (kernels + transforms) is what the DP minimized.
+                db.insert_replace(TuneRecord {
+                    device: spec.name.clone(),
+                    workload: w.key(),
+                    config,
+                    cost_ms,
+                    trials: budget.trials_per_workload,
+                });
+            }
+        }
+    }
+    db
+}
+
+/// [`ScheduleProvider`] backed by a tuning database, with fallback for
+/// unknown workloads.
+#[derive(Debug, Clone)]
+pub struct TunedSchedules {
+    db: Database,
+}
+
+impl TunedSchedules {
+    pub fn new(db: Database) -> Self {
+        TunedSchedules { db }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl ScheduleProvider for TunedSchedules {
+    fn conv_config(&self, w: &ConvWorkload, spec: &DeviceSpec) -> ConvConfig {
+        self.db
+            .lookup(&spec.name, w)
+            .map(|r| r.config)
+            .unwrap_or_else(|| ConvConfig::fallback_for(w, spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigpu_graph::latency::FallbackSchedules;
+    use unigpu_graph::{estimate_latency, place, Activation, LatencyOptions, PlacementPolicy};
+    use unigpu_device::Platform;
+    use unigpu_tensor::{Shape, Tensor};
+
+    fn conv_chain_graph() -> Graph {
+        let mut g = Graph::new("chain3");
+        let wls = [
+            ConvWorkload::square(1, 64, 64, 28, 3, 1, 1),
+            ConvWorkload::square(1, 64, 128, 28, 1, 1, 0),
+            ConvWorkload::square(1, 128, 128, 28, 3, 1, 1),
+        ];
+        let mut x = g.add(OpKind::Input { shape: Shape::from(wls[0].input_shape()) }, vec![], "x");
+        for (i, w) in wls.iter().enumerate() {
+            let k = g.add(OpKind::Constant(Tensor::zeros(w.weight_shape())), vec![], format!("w{i}"));
+            x = g.add(
+                OpKind::Conv2d { w: *w, bias: false, act: Activation::Relu },
+                vec![x, k],
+                format!("conv{i}"),
+            );
+        }
+        g.mark_output(x);
+        g
+    }
+
+    #[test]
+    fn tuned_database_covers_all_workloads() {
+        let g = conv_chain_graph();
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let budget = TuningBudget { trials_per_workload: 48, ..Default::default() };
+        let db = tune_graph(&g, &spec, &budget);
+        assert_eq!(db.len(), 3);
+        for w in conv_workloads(&g) {
+            assert!(db.lookup(&spec.name, &w).is_some(), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn tuned_model_is_faster_end_to_end() {
+        let g = conv_chain_graph();
+        for plat in Platform::all() {
+            let budget = TuningBudget { trials_per_workload: 64, ..Default::default() };
+            let db = tune_graph(&g, &plat.gpu, &budget);
+            let tuned = TunedSchedules::new(db);
+            let placed = place(&g, PlacementPolicy::AllGpu);
+            let opts = LatencyOptions::default();
+            let before = estimate_latency(&placed, &plat, &FallbackSchedules, &opts);
+            let after = estimate_latency(&placed, &plat, &tuned, &opts);
+            assert!(
+                after.total_ms < before.total_ms,
+                "{}: tuned {:.3} must beat fallback {:.3}",
+                plat.name,
+                after.total_ms,
+                before.total_ms
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_workloads_fall_back() {
+        let provider = TunedSchedules::new(Database::new());
+        let w = ConvWorkload::square(1, 16, 16, 10, 3, 1, 1);
+        let spec = unigpu_device::DeviceSpec::intel_hd505();
+        assert_eq!(provider.conv_config(&w, &spec), ConvConfig::fallback_for(&w, &spec));
+    }
+}

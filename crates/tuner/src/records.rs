@@ -1,0 +1,170 @@
+//! The tuning-record database.
+//!
+//! §3.2.3: "doing tensor-level search is costly particularly at the edge
+//! devices ... In order to prevent replicated searching in the future, we
+//! maintain a database to store the results for every convolution workload
+//! on each hardware platform." Records serialize to JSON lines, mirroring
+//! AutoTVM's log format.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use unigpu_ops::conv::ConvConfig;
+use unigpu_ops::ConvWorkload;
+
+/// One tuning outcome: the best schedule found for a workload on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneRecord {
+    /// Device name (`DeviceSpec::name`).
+    pub device: String,
+    /// Workload key (`ConvWorkload::key()`).
+    pub workload: String,
+    pub config: ConvConfig,
+    pub cost_ms: f64,
+    /// Measurements spent finding it.
+    pub trials: usize,
+}
+
+/// In-memory database keyed by `(device, workload)`, with JSON persistence.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    records: HashMap<(String, String), TuneRecord>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert / overwrite-if-better a record.
+    pub fn insert(&mut self, rec: TuneRecord) {
+        let key = (rec.device.clone(), rec.workload.clone());
+        match self.records.get(&key) {
+            Some(old) if old.cost_ms <= rec.cost_ms => {}
+            _ => {
+                self.records.insert(key, rec);
+            }
+        }
+    }
+
+    /// Insert unconditionally, replacing any existing record (used by the
+    /// graph tuner, whose choice may be tensor-level-slower but chain-level
+    /// faster once transform costs are counted).
+    pub fn insert_replace(&mut self, rec: TuneRecord) {
+        self.records
+            .insert((rec.device.clone(), rec.workload.clone()), rec);
+    }
+
+    /// Look up the best known config for a workload on a device.
+    pub fn lookup(&self, device: &str, w: &ConvWorkload) -> Option<&TuneRecord> {
+        self.records.get(&(device.to_string(), w.key()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialize to JSON lines (one record per line, AutoTVM-log style).
+    pub fn to_json_lines(&self) -> String {
+        let mut recs: Vec<&TuneRecord> = self.records.values().collect();
+        recs.sort_by(|a, b| (&a.device, &a.workload).cmp(&(&b.device, &b.workload)));
+        recs.iter()
+            .map(|r| serde_json::to_string(r).expect("record serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parse JSON lines produced by [`Database::to_json_lines`].
+    pub fn from_json_lines(s: &str) -> Result<Self, serde_json::Error> {
+        let mut db = Database::new();
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            db.insert(serde_json::from_str(line)?);
+        }
+        Ok(db)
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_lines())
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json_lines(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(dev: &str, w: &ConvWorkload, cost: f64) -> TuneRecord {
+        TuneRecord {
+            device: dev.into(),
+            workload: w.key(),
+            config: ConvConfig::default_schedule(),
+            cost_ms: cost,
+            trials: 10,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_best() {
+        let w = ConvWorkload::square(1, 8, 8, 8, 3, 1, 1);
+        let mut db = Database::new();
+        db.insert(rec("dev", &w, 5.0));
+        db.insert(rec("dev", &w, 9.0)); // worse: ignored
+        assert_eq!(db.lookup("dev", &w).unwrap().cost_ms, 5.0);
+        db.insert(rec("dev", &w, 2.0)); // better: replaces
+        assert_eq!(db.lookup("dev", &w).unwrap().cost_ms, 2.0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn per_device_isolation() {
+        let w = ConvWorkload::square(1, 8, 8, 8, 3, 1, 1);
+        let mut db = Database::new();
+        db.insert(rec("intel", &w, 1.0));
+        db.insert(rec("mali", &w, 2.0));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.lookup("mali", &w).unwrap().cost_ms, 2.0);
+        assert!(db.lookup("nvidia", &w).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w1 = ConvWorkload::square(1, 8, 16, 8, 3, 1, 1);
+        let w2 = ConvWorkload::depthwise(1, 32, 56, 3, 1, 1);
+        let mut db = Database::new();
+        db.insert(rec("intel", &w1, 1.5));
+        db.insert(rec("intel", &w2, 0.5));
+        let text = db.to_json_lines();
+        let back = Database::from_json_lines(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup("intel", &w2).unwrap().cost_ms, 0.5);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("unigpu_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let w = ConvWorkload::square(1, 4, 4, 4, 1, 1, 0);
+        let mut db = Database::new();
+        db.insert(rec("nano", &w, 3.25));
+        db.save(&path).unwrap();
+        let back = Database::load(&path).unwrap();
+        assert_eq!(back.lookup("nano", &w).unwrap().cost_ms, 3.25);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(Database::from_json_lines("not json").is_err());
+    }
+}

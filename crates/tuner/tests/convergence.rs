@@ -1,0 +1,86 @@
+//! Integration tests of the tuning stack: convergence behaviour and
+//! best-so-far curves across strategies and devices.
+
+use unigpu_device::DeviceSpec;
+use unigpu_ops::conv::{ConfigSpace, ConvConfig};
+use unigpu_ops::ConvWorkload;
+use unigpu_tuner::{GaTuner, ModelBasedTuner, RandomTuner, SimMeasurer, TuneResult, Tuner};
+
+fn best_so_far(r: &TuneResult) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    r.history
+        .iter()
+        .map(|&(_, c)| {
+            best = best.min(c);
+            best
+        })
+        .collect()
+}
+
+#[test]
+fn best_so_far_is_monotone_for_every_tuner() {
+    let w = ConvWorkload::square(1, 64, 64, 56, 3, 1, 1);
+    for spec in [DeviceSpec::intel_hd505(), DeviceSpec::mali_t860(), DeviceSpec::maxwell_nano()] {
+        let space = ConfigSpace::build(&w, &spec);
+        let tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(RandomTuner::new(1)),
+            Box::new(GaTuner::new(1)),
+            Box::new(ModelBasedTuner::new(1)),
+        ];
+        for mut t in tuners {
+            let mut m = SimMeasurer::new(spec.clone(), 0.02, 31);
+            let r = t.tune(&w, &space, &mut m, 64);
+            let curve = best_so_far(&r);
+            assert!(curve.windows(2).all(|w| w[1] <= w[0]), "curve must be monotone");
+            assert!((curve.last().unwrap() - r.best_cost_ms).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn more_budget_never_hurts_the_model_tuner() {
+    let w = ConvWorkload::square(1, 128, 128, 28, 3, 1, 1);
+    let spec = DeviceSpec::intel_hd505();
+    let space = ConfigSpace::build(&w, &spec);
+    let run = |budget: usize| {
+        let mut m = SimMeasurer::new(spec.clone(), 0.0, 5);
+        let r = ModelBasedTuner::new(5).tune(&w, &space, &mut m, budget);
+        m.true_cost(&w, &r.best_config)
+    };
+    let small = run(32);
+    let large = run(160);
+    assert!(large <= small * 1.01, "160 trials {large} should not exceed 32 trials {small}");
+}
+
+#[test]
+fn tuned_configs_are_valid_space_members() {
+    let w = ConvWorkload::depthwise(1, 256, 28, 3, 1, 1);
+    for spec in [DeviceSpec::intel_hd505(), DeviceSpec::mali_t860()] {
+        let space = ConfigSpace::build(&w, &spec);
+        let mut m = SimMeasurer::new(spec.clone(), 0.0, 9);
+        let r = ModelBasedTuner::new(9).tune(&w, &space, &mut m, 48);
+        let c: ConvConfig = r.best_config;
+        assert!(space.tile_oc.contains(&c.tile_oc));
+        assert!(space.vector_width.contains(&c.vector_width));
+        assert!(space.use_subgroup.contains(&c.use_subgroup));
+        // the Intel depthwise template gap: no subgroup configs exist at all
+        if spec.has_subgroups {
+            assert!(!c.use_subgroup, "Intel depthwise space must exclude subgroups");
+        }
+    }
+}
+
+#[test]
+fn tuners_explore_distinct_configs() {
+    let w = ConvWorkload::square(1, 64, 64, 28, 3, 1, 1);
+    let spec = DeviceSpec::maxwell_nano();
+    let space = ConfigSpace::build(&w, &spec);
+    let mut m = SimMeasurer::new(spec.clone(), 0.0, 13);
+    let r = ModelBasedTuner::new(13).tune(&w, &space, &mut m, 96);
+    let distinct: std::collections::HashSet<usize> = r.history.iter().map(|&(i, _)| i).collect();
+    assert!(
+        distinct.len() > 60,
+        "model tuner should mostly measure fresh configs ({} distinct of 96)",
+        distinct.len()
+    );
+}

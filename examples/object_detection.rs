@@ -1,0 +1,72 @@
+//! Object detection end-to-end: run a (small) SSD model functionally,
+//! inspect its detections, and compare the §3.1.2 placement policies —
+//! everything on the integrated GPU versus NMS falling back to the CPU.
+//!
+//! ```sh
+//! cargo run --release --example object_detection
+//! ```
+
+use unigpu::device::Platform;
+use unigpu::graph::latency::FallbackSchedules;
+use unigpu::graph::passes::optimize;
+use unigpu::graph::{estimate_latency, place, Executor, LatencyOptions, PlacementPolicy};
+use unigpu::models::ssd_mobilenet;
+use unigpu::tensor::init::random_uniform;
+
+fn main() {
+    // A reduced-size SSD so the functional pass runs in seconds on a laptop.
+    let model = ssd_mobilenet(128, 5);
+    println!(
+        "built `{}`: {} ops / {} convs",
+        model.name,
+        model.op_count(),
+        model.conv_count()
+    );
+
+    // Functional inference: input image → detections.
+    let g = optimize(&model);
+    let image = random_uniform([1, 3, 128, 128], 7);
+    let dets = &Executor.run(&g, &[image])[0];
+    let rows = dets.as_f32();
+    let kept: Vec<&[f32]> = rows.chunks(6).filter(|r| r[0] >= 0.0).take(5).collect();
+    println!("top detections (class, score, x1, y1, x2, y2):");
+    for r in &kept {
+        println!(
+            "  class {:>2}  score {:.3}  box [{:+.3}, {:+.3}, {:+.3}, {:+.3}]",
+            r[0] as i32, r[1], r[2], r[3], r[4], r[5]
+        );
+    }
+    if kept.is_empty() {
+        println!("  (none above threshold — random weights)");
+    }
+
+    // Placement study on each platform.
+    println!("\nplacement policies (simulated latency):");
+    let opts = LatencyOptions::default();
+    for platform in Platform::all() {
+        let all_gpu = estimate_latency(
+            &place(&g, PlacementPolicy::AllGpu),
+            &platform,
+            &FallbackSchedules,
+            &opts,
+        );
+        let fb = place(&g, PlacementPolicy::FallbackVision);
+        let fallback = estimate_latency(&fb, &platform, &FallbackSchedules, &opts);
+        let cpu = estimate_latency(
+            &place(&g, PlacementPolicy::AllCpu),
+            &platform,
+            &FallbackSchedules,
+            &opts,
+        );
+        println!(
+            "  {:<22} all-GPU {:>8.2} ms | NMS→CPU {:>8.2} ms ({:+.2}%, {} copies) | all-CPU {:>8.2} ms",
+            platform.name,
+            all_gpu.total_ms,
+            fallback.total_ms,
+            (fallback.total_ms / all_gpu.total_ms - 1.0) * 100.0,
+            fb.copy_count(),
+            cpu.total_ms,
+        );
+    }
+    println!("\nthe fallback path costs well under 1% — the §3.1.2 result.");
+}

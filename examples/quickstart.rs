@@ -1,0 +1,58 @@
+//! Quickstart: build a CNN, optimize the graph, run real inference, and
+//! estimate its latency on all three integrated-GPU platforms.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unigpu::baselines::vendor::ours_untuned_latency;
+use unigpu::device::Platform;
+use unigpu::graph::passes::optimize;
+use unigpu::graph::Executor;
+use unigpu::models::mobilenet;
+use unigpu::tensor::init::random_uniform;
+
+fn main() {
+    // 1. Build a model (a small MobileNet so the functional pass is quick).
+    let model = mobilenet(1, 64, 10);
+    println!(
+        "built `{}`: {} ops, {} convs, {:.2} GFLOPs",
+        model.name,
+        model.op_count(),
+        model.conv_count(),
+        model.conv_flops() / 1e9
+    );
+
+    // 2. Graph-level optimization: fold batch norms, fuse activations.
+    let optimized = optimize(&model);
+    println!(
+        "after optimization: {} ops ({} fused away)",
+        optimized.op_count(),
+        model.op_count() - optimized.op_count()
+    );
+
+    // 3. Real inference on the host executor.
+    let input = random_uniform([1, 3, 64, 64], 42);
+    let outputs = Executor.run(&optimized, &[input]);
+    let probs = outputs[0].as_f32();
+    let best = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("inference OK — top class {} (p = {:.4})", best.0, best.1);
+
+    // 4. Simulated latency on the paper's three edge platforms.
+    println!("\nuntuned single-sample latency (simulated):");
+    for platform in Platform::all() {
+        let report = ours_untuned_latency(&model, &platform);
+        println!(
+            "  {:<22} {:>8.2} ms  (conv {:>7.2} ms over {} kernels)",
+            platform.name,
+            report.total_ms,
+            report.conv_ms(),
+            report.per_op.len()
+        );
+    }
+    println!("\nnext step: see examples/autotune.rs for the AutoTVM-style search.");
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the unigpu stack.
+pub use unigpu_tensor as tensor;
+pub use unigpu_device as device;
+pub use unigpu_ir as ir;
+pub use unigpu_ops as ops;
+pub use unigpu_graph as graph;
+pub use unigpu_tuner as tuner;
+pub use unigpu_models as models;
+pub use unigpu_baselines as baselines;

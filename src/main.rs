@@ -1,0 +1,180 @@
+//! `unigpu` — command-line front end to the stack, in the spirit of the
+//! paper's deployment story ("enabling model developers to optimize for
+//! inference at the edge" via a service): list models, estimate latency,
+//! tune schedules, export kernels and graphs.
+//!
+//! ```text
+//! unigpu models
+//! unigpu estimate ResNet50_v1 --platform nano --tuned
+//! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
+//! unigpu codegen --target cuda
+//! unigpu dot MobileNet1.0 > mobilenet.dot
+//! ```
+
+use unigpu::baselines::baseline_for;
+use unigpu::baselines::vendor::{ours_latency, ours_untuned_latency};
+use unigpu::device::Platform;
+use unigpu::graph::passes::optimize;
+use unigpu::graph::{parameter_count, to_dot, Graph};
+use unigpu::ir::codegen::{generate, line_count, Target};
+use unigpu::ir::{lower, LoopTag, Schedule};
+use unigpu::models::full_zoo;
+use unigpu::ops::conv::te::conv2d_compute;
+use unigpu::ops::ConvWorkload;
+use unigpu::tuner::{tune_graph, TunedSchedules, TuningBudget};
+
+fn platform_by_name(name: &str) -> Platform {
+    match name {
+        "deeplens" | "intel" => Platform::deeplens(),
+        "aisage" | "mali" => Platform::aisage(),
+        "nano" | "nvidia" => Platform::jetson_nano(),
+        other => {
+            eprintln!("unknown platform `{other}` (use deeplens|aisage|nano)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn model_by_name(name: &str, platform: &Platform) -> Graph {
+    let aisage = platform.name.contains("aiSage");
+    match full_zoo().into_iter().find(|e| e.name == name) {
+        Some(e) => (e.build)(aisage),
+        None => {
+            eprintln!("unknown model `{name}`; run `unigpu models` for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_models() {
+    println!("{:<18} {:>6} {:>6} {:>12} {:>10}", "Model", "ops", "convs", "params", "GFLOPs");
+    for e in full_zoo() {
+        let g = (e.build)(false);
+        println!(
+            "{:<18} {:>6} {:>6} {:>12} {:>10.2}",
+            e.name,
+            g.op_count(),
+            g.conv_count(),
+            parameter_count(&g),
+            g.conv_flops() / 1e9
+        );
+    }
+}
+
+fn cmd_estimate(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or("ResNet50_v1");
+    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"));
+    let g = model_by_name(name, &platform);
+    let report = if flag(args, "--tuned") {
+        let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(64);
+        eprintln!("[tune] searching schedules ({trials} trials/workload)...");
+        let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
+        let db = tune_graph(&g, &platform.gpu, &budget);
+        ours_latency(&g, &platform, &TunedSchedules::new(db))
+    } else {
+        ours_untuned_latency(&g, &platform)
+    };
+    println!(
+        "{name} on {}: {:.2} ms  (conv {:.2} ms, vision {:.2} ms, transfers {:.2} ms)",
+        platform.name,
+        report.total_ms,
+        report.conv_ms(),
+        report.vision_ms(),
+        report.transfer_ms
+    );
+    if flag(args, "--baseline") {
+        let b = baseline_for(&platform);
+        match b.latency(&g, &platform, g.nodes.iter().any(|n| n.op.is_vision_control())) {
+            Some(r) => println!("{} baseline: {:.2} ms", b.name, r.total_ms),
+            None => println!("{} baseline: model not supported", b.name),
+        }
+    }
+    if flag(args, "--per-op") {
+        let mut ops = report.per_op.clone();
+        ops.sort_by(|a, b| b.ms.partial_cmp(&a.ms).unwrap());
+        for t in ops.iter().take(15) {
+            println!("  {:<40} {:<18} {:>9.3} ms", t.name, t.op, t.ms);
+        }
+    }
+}
+
+fn cmd_tune(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or("SqueezeNet1.0");
+    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"));
+    let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(96);
+    let g = model_by_name(name, &platform);
+    let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
+    let db = tune_graph(&g, &platform.gpu, &budget);
+    println!("tuned {} workloads on {}", db.len(), platform.gpu.name);
+    if let Some(path) = opt(args, "--out") {
+        db.save(std::path::Path::new(path)).expect("write tuning db");
+        println!("records written to {path}");
+    } else {
+        println!("{}", db.to_json_lines());
+    }
+}
+
+fn cmd_codegen(args: &[String]) {
+    let target = match opt(args, "--target").unwrap_or("opencl") {
+        "cuda" => Target::Cuda,
+        _ => Target::OpenCl,
+    };
+    let w = ConvWorkload::square(1, 64, 64, 56, 3, 1, 1);
+    let c = conv2d_compute(&w);
+    let mut s = Schedule::default_for(&c);
+    s.split("oc", 8).unwrap();
+    s.bind("oc.o", LoopTag::BlockIdx(0)).unwrap();
+    s.bind("oc.i", LoopTag::ThreadIdx(0)).unwrap();
+    s.split("ow", 8).unwrap();
+    s.vectorize("ow.i").unwrap();
+    s.unroll("kw").unwrap();
+    let stmt = unigpu::ir::simplify_stmt(&lower(&c, &s));
+    let src = generate("conv2d_nchw", &stmt, target);
+    eprintln!("// {} lines from one unified-IR schedule", line_count(&src));
+    println!("{src}");
+}
+
+fn cmd_dot(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
+    let platform = Platform::deeplens();
+    let g = optimize(&model_by_name(name, &platform));
+    println!("{}", to_dot(&g));
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unigpu <command>\n\
+         \n\
+         commands:\n\
+           models                         list the model zoo\n\
+           estimate <model> [--platform deeplens|aisage|nano] [--tuned]\n\
+                    [--trials N] [--baseline] [--per-op]\n\
+           tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
+           codegen [--target opencl|cuda]\n\
+           dot <model>                    emit Graphviz"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => cmd_models(),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("codegen") => cmd_codegen(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        _ => usage(),
+    }
+}
