@@ -89,7 +89,7 @@ fn ablate_graph_tuner() {
                     .map(|i| space.get(i))
                     .filter(|c| c.tile_oc == oc)
                     .map(|config| LayerCandidate { config, kernel_ms: m.true_cost(w, &config) })
-                    .min_by(|a, b| a.kernel_ms.partial_cmp(&b.kernel_ms).unwrap());
+                    .min_by(|a, b| a.kernel_ms.total_cmp(&b.kernel_ms));
                 if let Some(c) = best {
                     cands.push(c);
                 }

@@ -5,6 +5,7 @@ use unigpu_baselines::vendor::ours_latency;
 use unigpu_device::Platform;
 use unigpu_graph::{Graph, LatencyReport};
 use unigpu_models::full_zoo;
+use unigpu_telemetry::{tel_info, tel_warn};
 use unigpu_tuner::{tune_graph, Database, TunedSchedules, TuningBudget};
 
 /// Where tuning databases are cached between harness runs (§3.2.3's
@@ -34,7 +35,18 @@ pub fn tuned_provider_for(platform: &Platform, budget: &TuningBudget) -> TunedSc
     let aisage = platform.gpu.vendor == unigpu_device::Vendor::Arm;
     let needed: Vec<Graph> = full_zoo().iter().map(|e| (e.build)(aisage)).collect();
 
-    let mut db = Database::load(&path).unwrap_or_default();
+    let (mut db, recovery) = Database::load_recovering(&path);
+    if recovery.skipped > 0 {
+        tel_warn!(
+            "bench::harness",
+            "tuning database {} is partially corrupt: {} record(s) recovered, {} line(s) \
+             skipped (first error: {})",
+            path.display(),
+            recovery.recovered,
+            recovery.skipped,
+            recovery.first_error.as_deref().unwrap_or("unknown")
+        );
+    }
     let missing: Vec<&Graph> = needed
         .iter()
         .filter(|g| {
@@ -44,8 +56,9 @@ pub fn tuned_provider_for(platform: &Platform, budget: &TuningBudget) -> TunedSc
         })
         .collect();
     if !missing.is_empty() {
-        eprintln!(
-            "[tune] {}: searching schedules for {} model(s) (budget {} trials/workload)...",
+        tel_info!(
+            "bench::harness",
+            "{}: searching schedules for {} model(s) (budget {} trials/workload)...",
             platform.name,
             missing.len(),
             budget.trials_per_workload

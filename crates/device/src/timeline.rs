@@ -66,7 +66,7 @@ impl Timeline {
     /// The `k` most expensive launches, sorted by descending duration.
     pub fn hotspots(&self, k: usize) -> Vec<&TraceEntry> {
         let mut v: Vec<&TraceEntry> = self.entries.iter().collect();
-        v.sort_by(|a, b| b.duration_ms.partial_cmp(&a.duration_ms).unwrap());
+        v.sort_by(|a, b| b.duration_ms.total_cmp(&a.duration_ms));
         v.truncate(k);
         v
     }
@@ -84,8 +84,29 @@ impl Timeline {
         }
         let mut v: Vec<(String, f64, usize)> =
             agg.into_iter().map(|(k, (t, c))| (k, t, c)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
+    }
+
+    /// Export every recorded launch into a Chrome trace as duration events
+    /// on `lane`, converting the simulated millisecond clock to trace
+    /// microseconds. The lane is named after the device.
+    pub fn add_to_trace(&self, trace: &mut unigpu_telemetry::ChromeTrace, lane: u32) {
+        use unigpu_telemetry::ArgValue;
+        trace.name_lane(lane, self.model.spec().name.clone());
+        for e in &self.entries {
+            trace.duration(
+                e.name.clone(),
+                "kernel",
+                e.start_ms * 1000.0,
+                e.duration_ms * 1000.0,
+                lane,
+                vec![
+                    ("work_items".to_string(), ArgValue::Num(e.work_items as f64)),
+                    ("launches".to_string(), ArgValue::Num(e.launches as f64)),
+                ],
+            );
+        }
     }
 
     /// Render a compact text report.
@@ -157,6 +178,36 @@ mod tests {
         let report = t.report();
         assert!(report.contains("conv2d"));
         assert!(report.contains("2 launches"), "conv2d line aggregates both launches");
+    }
+
+    #[test]
+    fn hotspots_tolerate_nan_durations() {
+        // A NaN cost (e.g. a degenerate profile) must not panic the sort.
+        let mut t = Timeline::new(CostModel::new(DeviceSpec::intel_hd505()));
+        t.launch(&profile("ok", 1 << 10));
+        t.entries.push(TraceEntry {
+            name: "nan[x]".into(),
+            start_ms: t.clock_ms,
+            duration_ms: f64::NAN,
+            work_items: 1,
+            launches: 1,
+        });
+        assert_eq!(t.hotspots(2).len(), 2);
+        assert!(!t.summary().is_empty());
+    }
+
+    #[test]
+    fn trace_export_matches_entries() {
+        let mut t = Timeline::new(CostModel::new(DeviceSpec::mali_t860()));
+        t.launch(&profile("conv2d[a]", 1 << 12));
+        t.launch(&profile("pool[b]", 1 << 10));
+        let mut trace = unigpu_telemetry::ChromeTrace::new();
+        t.add_to_trace(&mut trace, 7);
+        assert_eq!(trace.events().len(), 2);
+        let json = trace.to_json();
+        assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("conv2d[a]"));
+        assert!(json.contains("Mali"), "lane named after the device: {json}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::node::{Activation, OpKind};
 use unigpu_ops::conv::conv2d_ref;
 use unigpu_ops::nn;
 use unigpu_ops::vision;
+use unigpu_telemetry::SpanRecorder;
 use unigpu_tensor::Tensor;
 
 /// Executes a graph on concrete inputs.
@@ -24,6 +25,26 @@ impl Executor {
     /// Run `graph` with `inputs` bound to its `Input` nodes in order.
     /// Returns the tensors of the marked outputs.
     pub fn run(&self, graph: &Graph, inputs: &[Tensor]) -> Vec<Tensor> {
+        self.run_impl(graph, inputs, None)
+    }
+
+    /// Like [`Executor::run`], recording one wall-clock span per executed
+    /// node (name, op kind, output shape) into `recorder`.
+    pub fn run_traced(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        recorder: &SpanRecorder,
+    ) -> Vec<Tensor> {
+        self.run_impl(graph, inputs, Some(recorder))
+    }
+
+    fn run_impl(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        recorder: Option<&SpanRecorder>,
+    ) -> Vec<Tensor> {
         let input_ids = graph.input_ids();
         assert_eq!(
             input_ids.len(),
@@ -42,6 +63,7 @@ impl Executor {
                     .as_ref()
                     .unwrap_or_else(|| panic!("node {id} input {i} not computed"))
             };
+            let span_clock = recorder.map(|r| (r.now_us(), std::time::Instant::now()));
             let out: Tensor = match &node.op {
                 OpKind::Input { shape } => {
                     let t = inputs[next_input].clone();
@@ -118,6 +140,19 @@ impl Executor {
                 }
                 OpKind::DeviceCopy => get(0).clone(),
             };
+            if let (Some(r), Some((start_us, started))) = (recorder, span_clock) {
+                r.record(unigpu_telemetry::SpanRecord {
+                    name: node.name.clone(),
+                    category: "op".into(),
+                    start_us,
+                    dur_us: started.elapsed().as_secs_f64() * 1e6,
+                    lane: 0,
+                    attrs: vec![
+                        ("op".into(), node.op.name().into()),
+                        ("shape".into(), format!("{:?}", out.shape().dims())),
+                    ],
+                });
+            }
             values[id] = Some(out);
         }
 
@@ -264,6 +299,34 @@ mod tests {
         let data = Tensor::full([1, 2, 4, 4], 1.5);
         let out = Executor.run(&g, &[data]);
         assert_eq!(out[0].as_f32(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn traced_run_produces_span_per_node() {
+        let w = ConvWorkload::square(1, 3, 4, 6, 3, 1, 1);
+        let mut g = Graph::new("traced");
+        let x = g.add(OpKind::Input { shape: Shape::from(w.input_shape()) }, vec![], "x");
+        let wt = g.add(OpKind::Constant(random_uniform(w.weight_shape(), 1)), vec![], "w");
+        let c = g.add(OpKind::Conv2d { w, bias: false, act: Activation::Relu }, vec![x, wt], "c");
+        let p = g.add(OpKind::GlobalAvgPool, vec![c], "gap");
+        g.mark_output(p);
+
+        let recorder = unigpu_telemetry::SpanRecorder::new();
+        let out = Executor.run_traced(&g, &[random_uniform(w.input_shape(), 2)], &recorder);
+        assert_eq!(out.len(), 1);
+
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), g.nodes.len(), "one span per executed node");
+        assert!(spans
+            .iter()
+            .any(|s| s.attrs.contains(&("op".to_string(), "conv2d".to_string()))));
+        for pair in spans.windows(2) {
+            assert!(pair[1].start_us >= pair[0].start_us, "spans start in execution order");
+        }
+        // untraced runs stay silent
+        let before = recorder.len();
+        Executor.run(&g, &[random_uniform(w.input_shape(), 3)]);
+        assert_eq!(recorder.len(), before);
     }
 
     #[test]

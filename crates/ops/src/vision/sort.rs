@@ -36,12 +36,13 @@ impl Elem {
 }
 
 /// Total order: segment ascending, value descending, index ascending;
-/// padding last. Total (no NaN inputs allowed).
+/// padding last. `total_cmp` keeps the order total even for NaN scores
+/// (which sort last among values instead of panicking).
 fn elem_cmp(a: &Elem, b: &Elem) -> Ordering {
     a.pad
         .cmp(&b.pad)
         .then(a.seg.cmp(&b.seg))
-        .then_with(|| b.val.partial_cmp(&a.val).expect("NaN score in argsort"))
+        .then_with(|| b.val.total_cmp(&a.val))
         .then(a.idx.cmp(&b.idx))
 }
 
@@ -266,12 +267,7 @@ mod tests {
         for s in 0..offsets.len() - 1 {
             let (lo, hi) = (offsets[s], offsets[s + 1]);
             let mut idx: Vec<usize> = (0..hi - lo).collect();
-            idx.sort_by(|&a, &b| {
-                data[lo + b]
-                    .partial_cmp(&data[lo + a])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
+            idx.sort_by(|&a, &b| data[lo + b].total_cmp(&data[lo + a]).then(a.cmp(&b)));
             for (r, &i) in idx.iter().enumerate() {
                 out[lo + r] = i as i32;
             }

@@ -58,12 +58,7 @@ pub fn topk(boxes: &Tensor, k: usize) -> Tensor {
     for b in 0..batch {
         let rows = &src[b * n * 6..(b + 1) * n * 6];
         let mut order: Vec<usize> = (0..n).filter(|&i| rows[i * 6] >= 0.0).collect();
-        order.sort_by(|&x, &y| {
-            rows[y * 6 + 1]
-                .partial_cmp(&rows[x * 6 + 1])
-                .unwrap()
-                .then(x.cmp(&y))
-        });
+        order.sort_by(|&x, &y| rows[y * 6 + 1].total_cmp(&rows[x * 6 + 1]).then(x.cmp(&y)));
         order.truncate(k);
         let dst = &mut out.as_f32_mut()[b * n * 6..(b + 1) * n * 6];
         for (slot, &i) in order.iter().enumerate() {

@@ -1,0 +1,317 @@
+//! Chrome trace-event JSON exporter (catapult format).
+//!
+//! Emits `ph: "X"` complete-duration events and `ph: "C"` counter events,
+//! wrapped in `{"traceEvents": [...]}` — the object form both
+//! `chrome://tracing` and <https://ui.perfetto.dev> accept. Timestamps and
+//! durations are microseconds, per the spec.
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use std::path::Path;
+
+/// A typed `args` value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    Str(String),
+    Num(f64),
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> Self {
+        ArgValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(s)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Num(v)
+    }
+}
+
+/// One trace event (`ph` is `'X'` for duration or `'C'` for counter).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: char,
+    pub ts_us: f64,
+    pub dur_us: f64,
+    pub pid: u32,
+    pub tid: u32,
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Builder/collector for one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<TraceEvent>,
+    /// Human-readable lane names, emitted as `thread_name` metadata.
+    lane_names: Vec<(u32, String)>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Name a lane (Chrome `tid`) for display.
+    pub fn name_lane(&mut self, lane: u32, name: impl Into<String>) {
+        self.lane_names.push((lane, name.into()));
+    }
+
+    /// Add a complete-duration event.
+    pub fn duration(
+        &mut self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+        tid: u32,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: 'X',
+            ts_us,
+            dur_us,
+            pid: 1,
+            tid,
+            args,
+        });
+    }
+
+    /// Add a counter sample (`ph: "C"`): one numeric series per entry.
+    pub fn counter(&mut self, name: impl Into<String>, ts_us: f64, series: Vec<(String, f64)>) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat: "metric".into(),
+            ph: 'C',
+            ts_us,
+            dur_us: 0.0,
+            pid: 1,
+            tid: 0,
+            args: series
+                .into_iter()
+                .map(|(k, v)| (k, ArgValue::Num(v)))
+                .collect(),
+        });
+    }
+
+    /// Convert recorded spans into duration events (lane → `tid`, attrs →
+    /// `args`).
+    pub fn add_spans(&mut self, spans: &[SpanRecord]) {
+        for s in spans {
+            self.duration(
+                s.name.clone(),
+                s.category.clone(),
+                s.start_us,
+                s.dur_us,
+                s.lane,
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), ArgValue::Str(v.clone())))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Emit every counter and gauge of a metrics snapshot as counter events
+    /// at `ts_us` (histograms contribute their count and mean).
+    pub fn add_metrics(&mut self, snapshot: &MetricsSnapshot, ts_us: f64) {
+        for (name, v) in &snapshot.counters {
+            self.counter(name.clone(), ts_us, vec![("value".into(), *v as f64)]);
+        }
+        for (name, v) in &snapshot.gauges {
+            self.counter(name.clone(), ts_us, vec![("value".into(), *v)]);
+        }
+        for (name, h) in &snapshot.histograms {
+            self.counter(
+                name.clone(),
+                ts_us,
+                vec![("count".into(), h.count as f64), ("mean".into(), h.mean)],
+            );
+        }
+    }
+
+    /// Serialize to a Chrome trace-event JSON document. Events are sorted
+    /// by timestamp so every lane reads monotonically.
+    pub fn to_json(&self) -> String {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| self.events[a].ts_us.total_cmp(&self.events[b].ts_us));
+
+        let mut out = String::with_capacity(self.events.len() * 128 + 64);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (lane, name) in &self.lane_names {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&lane.to_string());
+            out.push_str(",\"args\":{");
+            json::write_key(&mut out, "name");
+            json::write_str(&mut out, name);
+            out.push_str("}}");
+        }
+        for &i in &order {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            self.write_event(&mut out, &self.events[i]);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    fn write_event(&self, out: &mut String, e: &TraceEvent) {
+        out.push('{');
+        json::write_key(out, "name");
+        json::write_str(out, &e.name);
+        out.push(',');
+        json::write_key(out, "cat");
+        json::write_str(out, if e.cat.is_empty() { "default" } else { &e.cat });
+        out.push(',');
+        json::write_key(out, "ph");
+        json::write_str(out, &e.ph.to_string());
+        out.push(',');
+        json::write_key(out, "ts");
+        json::write_f64(out, e.ts_us);
+        out.push(',');
+        json::write_key(out, "dur");
+        json::write_f64(out, e.dur_us);
+        out.push(',');
+        json::write_key(out, "pid");
+        out.push_str(&e.pid.to_string());
+        out.push(',');
+        json::write_key(out, "tid");
+        out.push_str(&e.tid.to_string());
+        out.push(',');
+        json::write_key(out, "args");
+        out.push('{');
+        for (j, (k, v)) in e.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_key(out, k);
+            match v {
+                ArgValue::Str(s) => json::write_str(out, s),
+                ArgValue::Num(n) => json::write_f64(out, *n),
+            }
+        }
+        out.push_str("}}");
+    }
+
+    /// Write the trace to a file.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: f64, dur: f64, lane: u32) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            category: "op".into(),
+            start_us: start,
+            dur_us: dur,
+            lane,
+            attrs: vec![("op".into(), "conv2d".into())],
+        }
+    }
+
+    #[test]
+    fn duration_events_serialize_with_required_fields() {
+        let mut t = ChromeTrace::new();
+        t.add_spans(&[span("conv0", 0.0, 10.0, 0)]);
+        let s = t.to_json();
+        for field in [
+            "\"name\":\"conv0\"",
+            "\"ph\":\"X\"",
+            "\"ts\":0",
+            "\"dur\":10",
+            "\"pid\":1",
+            "\"tid\":0",
+        ] {
+            assert!(s.contains(field), "missing {field} in {s}");
+        }
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"op\":\"conv2d\""));
+    }
+
+    #[test]
+    fn counter_events_carry_series() {
+        let mut t = ChromeTrace::new();
+        t.counter("exec.nodes", 5.0, vec![("value".into(), 42.0)]);
+        let s = t.to_json();
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"value\":42"));
+    }
+
+    #[test]
+    fn events_sorted_by_timestamp() {
+        let mut t = ChromeTrace::new();
+        t.add_spans(&[span("b", 20.0, 1.0, 0), span("a", 5.0, 1.0, 0)]);
+        let s = t.to_json();
+        assert!(s.find("\"name\":\"a\"").unwrap() < s.find("\"name\":\"b\"").unwrap());
+    }
+
+    #[test]
+    fn metrics_snapshot_becomes_counters() {
+        use crate::metrics::MetricsRegistry;
+        let m = MetricsRegistry::new();
+        m.add("kernels", 7);
+        m.set_gauge("occupancy", 0.5);
+        m.observe("node_ms", 2.0);
+        let mut t = ChromeTrace::new();
+        t.add_metrics(&m.snapshot(), 100.0);
+        let s = t.to_json();
+        assert!(s.contains("\"name\":\"kernels\""));
+        assert!(s.contains("\"name\":\"occupancy\""));
+        assert!(s.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn lane_names_emit_metadata() {
+        let mut t = ChromeTrace::new();
+        t.name_lane(0, "GPU");
+        t.duration("k", "kernel", 0.0, 1.0, 0, vec![]);
+        let s = t.to_json();
+        assert!(s.contains("\"thread_name\""));
+        assert!(s.contains("\"name\":\"GPU\""));
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("unigpu_telemetry_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let mut t = ChromeTrace::new();
+        t.duration("k", "kernel", 0.0, 1.0, 0, vec![]);
+        t.write(&path).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("traceEvents"));
+        std::fs::remove_file(&path).ok();
+    }
+}

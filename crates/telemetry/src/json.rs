@@ -1,0 +1,65 @@
+//! Minimal JSON emission helpers (the crate is dependency-free by design;
+//! see `Cargo.toml`). Only what the exporters need: string escaping and
+//! JSON-safe float formatting.
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float as a JSON number. JSON has no NaN/Infinity, so non-finite
+/// values degrade to `0` rather than producing an unparseable document.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's `Display` for floats never emits exponents or locale
+        // separators, so the output is always a valid JSON number.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Append a `"key":` prefix (escaped) to `out`.
+pub fn write_key(out: &mut String, key: &str) {
+    write_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(s(|o| write_str(o, "a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(s(|o| write_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        assert_eq!(s(|o| write_f64(o, 1.5)), "1.5");
+        assert_eq!(s(|o| write_f64(o, f64::NAN)), "0");
+        assert_eq!(s(|o| write_f64(o, f64::INFINITY)), "0");
+        assert_eq!(s(|o| write_f64(o, 1e-7)), "0.0000001");
+    }
+}

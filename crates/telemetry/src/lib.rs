@@ -1,0 +1,38 @@
+//! # unigpu-telemetry
+//!
+//! The observability layer of the stack: every other crate funnels its
+//! profiling and progress signal through here, mirroring what TVM's
+//! debug/profiling runtime and AutoTVM's tuning logs provide for the paper's
+//! workflow (§3.2.3's hours-long search loops are unobservable without it).
+//!
+//! * [`span`] — scoped **spans** with key/value attributes and a thread-safe
+//!   [`span::SpanRecorder`]. Spans carry explicit microsecond timestamps so
+//!   both wall-clock execution (the functional [`Executor`]) and the
+//!   simulated clock (the latency estimator, the device [`Timeline`]) can
+//!   feed the same recorder.
+//! * [`metrics`] — a **metrics registry**: monotonic counters, gauges, and
+//!   histograms with fixed log-scale buckets (log₂, covering nanoseconds to
+//!   minutes when values are in milliseconds).
+//! * [`log`] — a leveled **event logger** with an `UNIGPU_LOG` environment
+//!   filter (`error|warn|info|debug|trace`, plus `target=level` overrides)
+//!   and pluggable sinks: a pretty stderr sink and a JSONL file sink.
+//! * [`chrome`] — a **Chrome trace-event JSON exporter** (`ph: "X"` duration
+//!   and `ph: "C"` counter events in catapult format) loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! This crate is intentionally dependency-free (std only) so it can sit
+//! below `unigpu-device` in the workspace graph.
+//!
+//! [`Executor`]: https://docs.rs/unigpu-graph
+//! [`Timeline`]: https://docs.rs/unigpu-device
+
+pub mod chrome;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{ArgValue, ChromeTrace, TraceEvent};
+pub use log::{JsonlSink, Level, LogRecord, LogSink, Logger, StderrSink};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanGuard, SpanRecord, SpanRecorder};

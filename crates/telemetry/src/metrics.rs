@@ -1,0 +1,288 @@
+//! Metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! All handles are cheap clones of one shared registry, so the executor,
+//! the tuner, and the CLI can update the same counters without plumbing
+//! mutable references through every layer.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ buckets. With `BUCKET_LO = 1e-6`, bucket `i` covers
+/// `[1e-6 · 2^i, 1e-6 · 2^(i+1))`, spanning ~1e-6 to ~2.8e8 — in
+/// milliseconds that is one nanosecond to several minutes.
+pub const BUCKETS: usize = 48;
+
+/// Lower bound of bucket 0.
+pub const BUCKET_LO: f64 = 1e-6;
+
+/// Fixed log-scale histogram (log₂ buckets).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Bucket index for a value (values ≤ `BUCKET_LO` land in bucket 0).
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= BUCKET_LO {
+        return 0;
+    }
+    let idx = (v / BUCKET_LO).log2().floor();
+    (idx as usize).min(BUCKETS - 1)
+}
+
+/// `[lo, hi)` bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    let lo = BUCKET_LO * (2f64).powi(i as i32);
+    (lo, lo * 2.0)
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket counts (geometric midpoint of
+    /// the containing bucket; exact min/max at the extremes).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return (lo * hi).sqrt().clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+/// Point-in-time snapshot of every metric (sorted by name — `BTreeMap`).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an instantaneous value.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.insert(name.to_string(), v);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Record one observation into a log-scale histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.get(name).map(|h| h.summary())
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m.inc("a");
+        m2.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn bucket_bounds_are_log2() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(BUCKET_LO), 0);
+        assert_eq!(bucket_index(BUCKET_LO * 2.5), 1);
+        assert_eq!(bucket_index(f64::MAX), BUCKETS - 1);
+        let (lo, hi) = bucket_bounds(3);
+        assert_eq!(lo, BUCKET_LO * 8.0);
+        assert_eq!(hi, BUCKET_LO * 16.0);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_extremes() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            m.observe("ms", v);
+        }
+        let s = m.histogram_summary("ms").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 8.0);
+        assert!(s.p50 >= 1.0 && s.p50 <= 8.0);
+        assert!(s.p95 >= s.p50);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_observations() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64 * 0.01); // 0.01 .. 10.0
+        }
+        let p50 = h.quantile(0.5);
+        // log-bucket approximation: within one bucket (2x) of the truth
+        assert!(p50 > 2.0 && p50 < 10.0, "p50 {p50}");
+        assert!(h.quantile(1.0) <= h.max);
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let m = MetricsRegistry::new();
+        m.inc("z");
+        m.inc("a");
+        m.set_gauge("g", 1.0);
+        m.observe("h", 3.0);
+        let s = m.snapshot();
+        assert_eq!(s.counters, vec![("a".into(), 1), ("z".into(), 1)]);
+        assert_eq!(s.gauges.len(), 1);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count, 0);
+    }
+}

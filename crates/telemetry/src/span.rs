@@ -1,0 +1,217 @@
+//! Scoped spans with key/value attributes and a thread-safe recorder.
+//!
+//! Timestamps are explicit `f64` microseconds so the recorder serves two
+//! clocks at once: wall time (via [`SpanRecorder::scope`], which times a
+//! guard with `Instant`) and the *simulated* clock of the cost model (via
+//! [`SpanRecorder::record`], with timestamps supplied by the caller).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Display name (e.g. node name, kernel name, tuning workload key).
+    pub name: String,
+    /// Category (e.g. `"op"`, `"kernel"`, `"transfer"`, `"tuning"`).
+    pub category: String,
+    /// Start timestamp in microseconds since the recorder's epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Lane (Chrome `tid`): groups spans into horizontal tracks, e.g. one
+    /// lane per device.
+    pub lane: u32,
+    /// Free-form key/value attributes (op kind, shapes, device, ...).
+    pub attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Thread-safe, cheaply clonable span collector.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanRecorder {
+    pub fn new() -> Self {
+        SpanRecorder {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Microseconds of wall time since this recorder was created.
+    pub fn now_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Record an already-timed span (simulated-clock path).
+    pub fn record(&self, span: SpanRecord) {
+        self.inner
+            .spans
+            .lock()
+            .expect("span recorder poisoned")
+            .push(span);
+    }
+
+    /// Start a wall-clock span; it is recorded when the guard drops.
+    pub fn scope(
+        &self,
+        name: impl Into<String>,
+        category: impl Into<String>,
+        lane: u32,
+    ) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name: name.into(),
+            category: category.into(),
+            lane,
+            start: Instant::now(),
+            start_us: self.now_us(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .spans
+            .lock()
+            .expect("span recorder poisoned")
+            .clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .spans
+            .lock()
+            .expect("span recorder poisoned")
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded spans (keeps the epoch).
+    pub fn clear(&self) {
+        self.inner
+            .spans
+            .lock()
+            .expect("span recorder poisoned")
+            .clear();
+    }
+}
+
+/// RAII wall-clock span: records itself into the recorder on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: &'a SpanRecorder,
+    name: String,
+    category: String,
+    lane: u32,
+    start: Instant,
+    start_us: f64,
+    attrs: Vec<(String, String)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a key/value attribute to the span.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            category: std::mem::take(&mut self.category),
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_secs_f64() * 1e6,
+            lane: self.lane,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_records_on_drop() {
+        let rec = SpanRecorder::new();
+        {
+            let mut g = rec.scope("work", "test", 0);
+            g.attr("k", "v");
+            assert!(rec.is_empty(), "not recorded until drop");
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert_eq!(spans[0].category, "test");
+        assert_eq!(spans[0].attrs, vec![("k".to_string(), "v".to_string())]);
+        assert!(spans[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn manual_records_keep_caller_timestamps() {
+        let rec = SpanRecorder::new();
+        rec.record(SpanRecord {
+            name: "sim".into(),
+            category: "kernel".into(),
+            start_us: 100.0,
+            dur_us: 50.0,
+            lane: 3,
+            attrs: vec![],
+        });
+        let spans = rec.spans();
+        assert_eq!(spans[0].start_us, 100.0);
+        assert_eq!(spans[0].dur_us, 50.0);
+        assert_eq!(spans[0].lane, 3);
+    }
+
+    #[test]
+    fn recorder_is_shared_across_clones() {
+        let rec = SpanRecorder::new();
+        let rec2 = rec.clone();
+        rec.scope("a", "t", 0);
+        rec2.scope("b", "t", 0);
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn threads_can_record_concurrently() {
+        let rec = SpanRecorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let r = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        r.scope(format!("t{i}"), "thread", i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.len(), 200);
+    }
+}

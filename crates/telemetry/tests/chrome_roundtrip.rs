@@ -1,0 +1,109 @@
+//! Round-trip a recorded run through `serde_json` and validate the Chrome
+//! trace-event contract: required fields on every event, per-lane monotonic
+//! timestamps, and counter events for the metrics registry.
+
+use unigpu_telemetry::{ChromeTrace, MetricsRegistry, SpanRecord, SpanRecorder};
+
+fn recorded_run() -> (SpanRecorder, MetricsRegistry) {
+    let spans = SpanRecorder::new();
+    let metrics = MetricsRegistry::new();
+    // Simulated-clock lane 0 (GPU) and lane 2 (transfers), deliberately
+    // recorded out of global order to exercise the exporter's sort.
+    let mut clock = 0.0;
+    for (i, dur) in [120.0, 45.0, 300.0, 10.0].iter().enumerate() {
+        spans.record(SpanRecord {
+            name: format!("conv{i}"),
+            category: "op".into(),
+            start_us: clock,
+            dur_us: *dur,
+            lane: 0,
+            attrs: vec![
+                ("op".into(), "conv2d".into()),
+                ("device".into(), "Gpu".into()),
+            ],
+        });
+        clock += dur;
+        metrics.inc("exec.nodes");
+        metrics.observe("node_ms", dur / 1000.0);
+    }
+    spans.record(SpanRecord {
+        name: "copy".into(),
+        category: "transfer".into(),
+        start_us: 60.0,
+        dur_us: 15.0,
+        lane: 2,
+        attrs: vec![("bytes".into(), "4096".into())],
+    });
+    metrics.inc("exec.device_copies");
+    (spans, metrics)
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let (spans, metrics) = recorded_run();
+    let mut trace = ChromeTrace::new();
+    trace.name_lane(0, "GPU");
+    trace.add_spans(&spans.spans());
+    trace.add_metrics(&metrics.snapshot(), 500.0);
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&trace.to_json()).expect("exporter emits valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut durations = 0;
+    let mut counters = 0;
+    let mut last_ts_per_lane: std::collections::HashMap<(u64, u64), f64> = Default::default();
+    for e in events {
+        let ph = e["ph"].as_str().expect("ph is a string");
+        if ph == "M" {
+            continue; // metadata (lane names)
+        }
+        for field in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(!e[field].is_null(), "event missing `{field}`: {e}");
+        }
+        let ts = e["ts"].as_f64().unwrap();
+        let lane = (e["pid"].as_u64().unwrap(), e["tid"].as_u64().unwrap());
+        if ph == "X" {
+            durations += 1;
+            let last = last_ts_per_lane.entry(lane).or_insert(f64::NEG_INFINITY);
+            assert!(
+                ts >= *last,
+                "timestamps must be monotonic per lane: {ts} < {last}"
+            );
+            *last = ts;
+        } else if ph == "C" {
+            counters += 1;
+            assert!(e["args"]
+                .as_object()
+                .map(|a| !a.is_empty())
+                .unwrap_or(false));
+        }
+    }
+    assert_eq!(
+        durations, 5,
+        "every recorded span becomes one duration event"
+    );
+    // 2 counters + 1 histogram from the registry
+    assert!(
+        counters >= 3,
+        "metrics registry must surface as counter events"
+    );
+}
+
+#[test]
+fn span_attrs_survive_as_args() {
+    let (spans, _) = recorded_run();
+    let mut trace = ChromeTrace::new();
+    trace.add_spans(&spans.spans());
+    let doc: serde_json::Value = serde_json::from_str(&trace.to_json()).unwrap();
+    let conv0 = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|e| e["name"] == "conv0")
+        .expect("conv0 present");
+    assert_eq!(conv0["args"]["op"], "conv2d");
+    assert_eq!(conv0["args"]["device"], "Gpu");
+    assert_eq!(conv0["cat"], "op");
+}

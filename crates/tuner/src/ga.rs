@@ -92,7 +92,7 @@ impl Tuner for GaTuner {
             history.push((idx, cost));
         }
         while history.len() < budget {
-            population.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut next: Vec<(usize, f64)> =
                 population.iter().take(self.elite).cloned().collect();
             while next.len() < self.population && history.len() + next.len() - self.elite < budget
@@ -111,7 +111,7 @@ impl Tuner for GaTuner {
         }
         let &(best_idx, best_cost) = history
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         let trials = history.len();
         TuneResult { best_config: space.get(best_idx), best_cost_ms: best_cost, trials, history }

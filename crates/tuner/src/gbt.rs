@@ -41,7 +41,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, thresh, sse)
         for f in 0..dim {
             let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
-            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut lsum = 0.0;
             let mut lsq = 0.0;
             let mut lcount = 0.0;

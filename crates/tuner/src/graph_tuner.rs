@@ -95,7 +95,7 @@ pub fn optimize_chain(layers: &[ChainLayer], spec: &DeviceSpec) -> ChainPlan {
     let (mut j, &total) = dp
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     let mut choice = vec![0usize; layers.len()];
     for i in (0..layers.len()).rev() {
@@ -122,7 +122,7 @@ pub fn greedy_chain(layers: &[ChainLayer], spec: &DeviceSpec) -> ChainPlan {
             l.candidates
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.kernel_ms.partial_cmp(&b.1.kernel_ms).unwrap())
+                .min_by(|a, b| a.1.kernel_ms.total_cmp(&b.1.kernel_ms))
                 .unwrap()
                 .0
         })

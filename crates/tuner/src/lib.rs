@@ -33,7 +33,9 @@ pub mod records;
 pub mod tuners;
 
 pub use measure::{Measurer, SimMeasurer};
-pub use pipeline::{tune_graph, TunedSchedules, TuningBudget};
-pub use records::{Database, TuneRecord};
+pub use pipeline::{
+    convergence_log_dir, tune_graph, write_convergence_log, TunedSchedules, TuningBudget,
+};
+pub use records::{Database, LoadRecovery, TuneRecord};
 pub use ga::GaTuner;
 pub use tuners::{GridTuner, ModelBasedTuner, RandomTuner, SaTuner, TuneResult, Tuner};

@@ -7,10 +7,12 @@ use crate::measure::SimMeasurer;
 use crate::records::{Database, TuneRecord};
 use crate::tuners::{ModelBasedTuner, Tuner};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use unigpu_device::DeviceSpec;
 use unigpu_graph::{Graph, OpKind, ScheduleProvider};
 use unigpu_ops::conv::{ConfigSpace, ConvConfig};
 use unigpu_ops::ConvWorkload;
+use unigpu_telemetry::{tel_debug, tel_warn};
 
 /// Tuning effort knobs.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,52 @@ pub fn conv_workloads(g: &Graph) -> Vec<ConvWorkload> {
         .collect()
 }
 
+/// Directory for per-workload tuning convergence logs: a `convergence/`
+/// folder inside the tuning cache dir (`UNIGPU_DB_DIR`, defaulting to
+/// `target/tuning` like the bench harness's database cache).
+pub fn convergence_log_dir() -> PathBuf {
+    let dir = std::env::var("UNIGPU_DB_DIR").unwrap_or_else(|_| "target/tuning".into());
+    PathBuf::from(dir).join("convergence")
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// Write a per-trial convergence log (JSONL, mirroring AutoTVM's tuning
+/// records): one line per measurement with the trial index, the measured
+/// cost, and the best cost seen so far. Returns the file path.
+pub fn write_convergence_log(
+    device: &str,
+    workload: &str,
+    history: &[(usize, f64)],
+) -> std::io::Result<PathBuf> {
+    let dir = convergence_log_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}__{}.jsonl", slug(device), slug(workload)));
+    let mut out = String::with_capacity(history.len() * 96);
+    let mut best = f64::INFINITY;
+    for (trial, &(config, ms)) in history.iter().enumerate() {
+        if ms < best {
+            best = ms;
+        }
+        let line = serde_json::json!({
+            "device": device,
+            "workload": workload,
+            "trial": trial,
+            "config": config,
+            "ms": ms,
+            "best_ms": best,
+        });
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Tune every convolution workload of `graph` for `spec`.
 ///
 /// Returns the database of best-found schedules. Tensor-level search runs
@@ -66,10 +114,24 @@ pub fn tune_graph(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Da
         let mut measurer = SimMeasurer::new(spec.clone(), budget.noise, budget.seed ^ (i as u64));
         let mut tuner = ModelBasedTuner::new(budget.seed.wrapping_add(i as u64));
         let result = tuner.tune(w, &space, &mut measurer, budget.trials_per_workload);
+        tel_debug!(
+            "tuner::pipeline",
+            "workload {} on {}: best {:.4} ms after {} trials",
+            w.key(),
+            spec.name,
+            result.best_cost_ms,
+            result.trials
+        );
+        match write_convergence_log(&spec.name, &w.key(), &result.history) {
+            Ok(path) => {
+                tel_debug!("tuner::pipeline", "convergence log: {}", path.display());
+            }
+            Err(e) => tel_warn!("tuner::pipeline", "failed to write convergence log: {e}"),
+        }
 
         // top-k distinct configs by true (noise-free) cost
         let mut hist = result.history.clone();
-        hist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        hist.sort_by(|a, b| a.1.total_cmp(&b.1));
         hist.dedup_by_key(|h| h.0);
         let top: Vec<LayerCandidate> = hist
             .iter()
@@ -210,6 +272,49 @@ mod tests {
                 before.total_ms
             );
         }
+    }
+
+    #[test]
+    fn convergence_log_written_under_db_dir() {
+        let dir = std::env::temp_dir().join(format!("unigpu_convergence_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::set_var("UNIGPU_DB_DIR", &dir);
+
+        // Workload shapes unique to this test, so no concurrently running
+        // tune_graph test can touch the same log files.
+        let mut g = Graph::new("convergence");
+        let w = ConvWorkload::square(1, 48, 56, 14, 3, 1, 1);
+        let x = g.add(OpKind::Input { shape: Shape::from(w.input_shape()) }, vec![], "x");
+        let k = g.add(OpKind::Constant(Tensor::zeros(w.weight_shape())), vec![], "w");
+        let c = g.add(OpKind::Conv2d { w, bias: false, act: Activation::Relu }, vec![x, k], "c");
+        g.mark_output(c);
+
+        let spec = unigpu_device::DeviceSpec::intel_hd505();
+        let budget = TuningBudget { trials_per_workload: 24, ..Default::default() };
+        let db = tune_graph(&g, &spec, &budget);
+        std::env::remove_var("UNIGPU_DB_DIR");
+        assert_eq!(db.len(), 1);
+
+        let path = dir
+            .join("convergence")
+            .join(format!("{}__{}.jsonl", slug(&spec.name), slug(&w.key())));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("convergence log {} missing: {e}", path.display()));
+        let mut best = f64::INFINITY;
+        let mut lines = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+            assert_eq!(v["trial"].as_u64().unwrap() as usize, i, "trial index in order");
+            let ms = v["ms"].as_f64().unwrap();
+            let best_ms = v["best_ms"].as_f64().unwrap();
+            best = best.min(ms);
+            assert_eq!(best_ms, best, "best-so-far is the running minimum");
+            assert_eq!(v["workload"].as_str().unwrap(), w.key());
+            assert_eq!(v["device"].as_str().unwrap(), spec.name);
+            lines += 1;
+        }
+        assert_eq!(lines, budget.trials_per_workload, "one line per trial");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -97,6 +97,43 @@ impl Database {
         Self::from_json_lines(&s)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Load leniently: keep every parseable record and report what was
+    /// skipped, instead of discarding the whole database on one corrupt
+    /// line. A missing file yields an empty database with no errors.
+    pub fn load_recovering(path: &std::path::Path) -> (Self, LoadRecovery) {
+        let mut db = Database::new();
+        let mut recovery = LoadRecovery::default();
+        let Ok(s) = std::fs::read_to_string(path) else {
+            return (db, recovery);
+        };
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            match serde_json::from_str(line) {
+                Ok(rec) => {
+                    db.insert(rec);
+                    recovery.recovered += 1;
+                }
+                Err(e) => {
+                    recovery.skipped += 1;
+                    if recovery.first_error.is_none() {
+                        recovery.first_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        (db, recovery)
+    }
+}
+
+/// What a lenient [`Database::load_recovering`] managed to salvage.
+#[derive(Debug, Clone, Default)]
+pub struct LoadRecovery {
+    /// Records successfully parsed and inserted.
+    pub recovered: usize,
+    /// Corrupt lines dropped.
+    pub skipped: usize,
+    /// Parse error of the first corrupt line.
+    pub first_error: Option<String>,
 }
 
 #[cfg(test)]
@@ -166,5 +203,37 @@ mod tests {
     #[test]
     fn malformed_json_errors() {
         assert!(Database::from_json_lines("not json").is_err());
+    }
+
+    #[test]
+    fn load_recovering_salvages_good_lines() {
+        let dir = std::env::temp_dir().join("unigpu_db_recover_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        let w = ConvWorkload::square(1, 8, 8, 8, 3, 1, 1);
+        let mut db = Database::new();
+        db.insert(rec("dev", &w, 1.25));
+        let mut text = db.to_json_lines();
+        text.push_str("\n{ this line is corrupt\n");
+        std::fs::write(&path, text).unwrap();
+
+        assert!(Database::load(&path).is_err(), "strict load still fails");
+        let (recovered, recovery) = Database::load_recovering(&path);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovery.recovered, 1);
+        assert_eq!(recovery.skipped, 1);
+        assert!(recovery.first_error.is_some());
+        assert_eq!(recovered.lookup("dev", &w).unwrap().cost_ms, 1.25);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_recovering_missing_file_is_empty_and_clean() {
+        let (db, recovery) = Database::load_recovering(std::path::Path::new(
+            "/nonexistent/unigpu/records.jsonl",
+        ));
+        assert!(db.is_empty());
+        assert_eq!(recovery.recovered + recovery.skipped, 0);
+        assert!(recovery.first_error.is_none());
     }
 }

@@ -38,7 +38,7 @@ pub trait Tuner {
 fn finish(history: Vec<(usize, f64)>, space: &ConfigSpace, trials: usize) -> TuneResult {
     let &(best_idx, best_cost) = history
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("at least one trial");
     TuneResult { best_config: space.get(best_idx), best_cost_ms: best_cost, trials, history }
 }
@@ -208,7 +208,7 @@ impl ModelBasedTuner {
             }
             temp *= 0.97;
         }
-        pool.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1));
         pool.dedup_by_key(|p| p.0);
         let mut out: Vec<usize> = pool.into_iter().map(|p| p.0).take(count).collect();
         // top-up with random unseen

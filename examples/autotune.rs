@@ -48,7 +48,7 @@ fn main() {
 
     let &(_, best_ms, best) = results
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap();
     let default_ms = CostModel::new(spec.clone())
         .kernel_time_ms(&conv_profile(&w, &ConvConfig::default_schedule(), &spec));

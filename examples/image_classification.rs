@@ -56,7 +56,7 @@ fn main() {
 
         // top-5 most expensive kernels
         let mut per_op = fused.per_op.clone();
-        per_op.sort_by(|a, b| b.ms.partial_cmp(&a.ms).unwrap());
+        per_op.sort_by(|a, b| b.ms.total_cmp(&a.ms));
         for t in per_op.iter().take(5) {
             println!(
                 "    {:<34} {:<10} {:>8.3} ms ({:>4.1}%)",

@@ -38,7 +38,7 @@ fn main() {
     let best = probs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     println!("inference OK — top class {} (p = {:.4})", best.0, best.1);
 

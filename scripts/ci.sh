@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, formatting, lints, and output hygiene.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+# The telemetry crate is held to rustfmt; the rest of the tree predates
+# formatting enforcement, so workspace-wide drift is reported but advisory.
+cargo fmt -p unigpu-telemetry -- --check
+if ! cargo fmt --all -- --check > /dev/null 2>&1; then
+  echo "note: rustfmt drift outside crates/telemetry (advisory, not fatal)"
+fi
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> output hygiene"
+# Library code must log through the telemetry layer (tel_error!..tel_trace!),
+# not raw stdio. Sanctioned call sites:
+#   eprintln! : src/main.rs (CLI usage/errors),
+#               crates/telemetry/src/log.rs (the logger's stderr sink)
+#   println!  : src/main.rs (CLI output),
+#               crates/bench/src/bin/ (table/figure regeneration binaries),
+#               crates/bench/src/harness.rs (the shared table printers)
+# examples/ and tests/ are not scanned.
+fail=0
+
+stray_eprintln=$(grep -rn --include='*.rs' 'eprintln!' crates src \
+  | grep -v '^crates/telemetry/src/log\.rs:' \
+  | grep -v '^src/main\.rs:' || true)
+if [ -n "$stray_eprintln" ]; then
+  echo "error: raw eprintln! outside sanctioned sinks — use tel_warn!/tel_info! etc.:"
+  echo "$stray_eprintln"
+  fail=1
+fi
+
+stray_println=$(grep -rnP --include='*.rs' '(?<!e)println!' crates src \
+  | grep -v '^crates/bench/src/bin/' \
+  | grep -v '^crates/bench/src/harness\.rs:' \
+  | grep -v '^src/main\.rs:' || true)
+if [ -n "$stray_println" ]; then
+  echo "error: raw println! outside sanctioned sinks — use the telemetry logger:"
+  echo "$stray_println"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "ci: all gates passed"

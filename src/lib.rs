@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the unigpu stack.
+pub use unigpu_telemetry as telemetry;
 pub use unigpu_tensor as tensor;
 pub use unigpu_device as device;
 pub use unigpu_ir as ir;

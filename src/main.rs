@@ -6,6 +6,7 @@
 //! ```text
 //! unigpu models
 //! unigpu estimate ResNet50_v1 --platform nano --tuned
+//! unigpu profile MobileNet1.0 --device intel --trace trace.json
 //! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
 //! unigpu codegen --target cuda
 //! unigpu dot MobileNet1.0 > mobilenet.dot
@@ -14,13 +15,18 @@
 use unigpu::baselines::baseline_for;
 use unigpu::baselines::vendor::{ours_latency, ours_untuned_latency};
 use unigpu::device::Platform;
+use unigpu::graph::latency::{FallbackSchedules, LANE_CPU, LANE_GPU, LANE_TRANSFER};
 use unigpu::graph::passes::optimize;
-use unigpu::graph::{parameter_count, to_dot, Graph};
+use unigpu::graph::{
+    estimate_latency_traced, parameter_count, place, to_dot, Graph, LatencyOptions,
+    PlacementPolicy,
+};
 use unigpu::ir::codegen::{generate, line_count, Target};
 use unigpu::ir::{lower, LoopTag, Schedule};
 use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
+use unigpu::telemetry::{ChromeTrace, MetricsRegistry, SpanRecorder};
 use unigpu::tuner::{tune_graph, TunedSchedules, TuningBudget};
 
 fn platform_by_name(name: &str) -> Platform {
@@ -102,10 +108,105 @@ fn cmd_estimate(args: &[String]) {
     }
     if flag(args, "--per-op") {
         let mut ops = report.per_op.clone();
-        ops.sort_by(|a, b| b.ms.partial_cmp(&a.ms).unwrap());
+        ops.sort_by(|a, b| b.ms.total_cmp(&a.ms));
         for t in ops.iter().take(15) {
             println!("  {:<40} {:<18} {:>9.3} ms", t.name, t.op, t.ms);
         }
+    }
+}
+
+/// `unigpu profile <model> --device <d> --trace out.json` — run the latency
+/// estimator with telemetry enabled, export a Chrome trace (load it in
+/// `chrome://tracing` or Perfetto), and print a hotspot summary.
+fn cmd_profile(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
+    let device = opt(args, "--device")
+        .or_else(|| opt(args, "--platform"))
+        .unwrap_or("deeplens");
+    let platform = platform_by_name(device);
+    let g = optimize(&model_by_name(name, &platform));
+    // FallbackVision puts the §3.1.2 CPU-fallback boundary crossings on the
+    // transfer lane; the default mirrors `ours_latency` (everything on GPU).
+    let policy = if flag(args, "--fallback") {
+        PlacementPolicy::FallbackVision
+    } else {
+        PlacementPolicy::AllGpu
+    };
+    let placed = place(&g, policy);
+
+    let spans = SpanRecorder::new();
+    let metrics = MetricsRegistry::new();
+    let opts = LatencyOptions { vision_optimized: true };
+    let report = if flag(args, "--tuned") {
+        let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(64);
+        let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
+        let db = tune_graph(&g, &platform.gpu, &budget);
+        estimate_latency_traced(
+            &placed,
+            &platform,
+            &TunedSchedules::new(db),
+            &opts,
+            &spans,
+            &metrics,
+        )
+    } else {
+        estimate_latency_traced(&placed, &platform, &FallbackSchedules, &opts, &spans, &metrics)
+    };
+
+    let mut trace = ChromeTrace::new();
+    trace.name_lane(LANE_GPU, format!("GPU: {}", platform.gpu.name));
+    trace.name_lane(LANE_CPU, format!("CPU: {}", platform.cpu.name));
+    trace.name_lane(LANE_TRANSFER, "CPU\u{2194}GPU transfer");
+    trace.add_spans(&spans.spans());
+    trace.add_metrics(&metrics.snapshot(), report.total_ms * 1000.0);
+    if let Some(path) = opt(args, "--trace") {
+        let path = std::path::Path::new(path);
+        match trace.write(path) {
+            Ok(()) => println!(
+                "trace written to {} ({} events)",
+                path.display(),
+                trace.events().len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "{name} on {}: {:.3} ms total  (gpu {:.3} ms, cpu {:.3} ms, transfers {:.3} ms; \
+         {} nodes, {} spans)",
+        platform.name,
+        report.total_ms,
+        report.gpu_ms,
+        report.cpu_ms,
+        report.transfer_ms,
+        placed.graph.nodes.len(),
+        spans.len()
+    );
+    // Hotspot summary aggregated by op kind — same shape as
+    // `Timeline::summary`: total ms descending with a share column.
+    let mut agg: Vec<(&str, f64, usize)> = Vec::new();
+    for t in &report.per_op {
+        match agg.iter_mut().find(|(op, _, _)| *op == t.op) {
+            Some(e) => {
+                e.1 += t.ms;
+                e.2 += 1;
+            }
+            None => agg.push((t.op, t.ms, 1)),
+        }
+    }
+    agg.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("hotspots:");
+    for (op, ms, n) in agg.iter().take(12) {
+        println!(
+            "  {:<28} {:>10.3} ms  ({:>3} nodes, {:>4.1}%)",
+            op,
+            ms,
+            n,
+            100.0 * ms / report.total_ms.max(f64::MIN_POSITIVE)
+        );
     }
 }
 
@@ -160,6 +261,8 @@ fn usage() -> ! {
            models                         list the model zoo\n\
            estimate <model> [--platform deeplens|aisage|nano] [--tuned]\n\
                     [--trials N] [--baseline] [--per-op]\n\
+           profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
+                    [--tuned] [--trials N] [--fallback]\n\
            tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
            codegen [--target opencl|cuda]\n\
            dot <model>                    emit Graphviz"
@@ -172,6 +275,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
         Some("estimate") => cmd_estimate(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("codegen") => cmd_codegen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
