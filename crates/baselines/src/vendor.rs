@@ -234,6 +234,11 @@ impl Baseline {
 
 /// Our stack's end-to-end latency with a given schedule provider (the "Ours"
 /// columns): graph optimization, all-GPU placement, optimized vision ops.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `unigpu_engine::Engine::compile` and `CompiledModel::estimate` — \
+            this free function survives as a thin shim for out-of-tree callers"
+)]
 pub fn ours_latency(
     model: &Graph,
     platform: &Platform,
@@ -245,6 +250,12 @@ pub fn ours_latency(
 }
 
 /// Our stack with *fallback* (untuned) schedules — Table 5's "Before".
+#[deprecated(
+    since = "0.1.0",
+    note = "use an untuned `unigpu_engine::Engine` (the default builder) and \
+            `CompiledModel::estimate` — kept as a thin shim for out-of-tree callers"
+)]
+#[allow(deprecated)] // the shim is allowed to call its deprecated sibling
 pub fn ours_untuned_latency(model: &Graph, platform: &Platform) -> LatencyReport {
     ours_latency(model, platform, &FallbackSchedules)
 }
@@ -312,6 +323,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercising the legacy shim's contract
     fn ours_pipeline_runs_on_all_platforms() {
         let g = mobilenet(1, 64, 10);
         for plat in Platform::all() {

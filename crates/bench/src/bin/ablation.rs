@@ -129,12 +129,11 @@ fn ablate_tuners() {
     println!("\n=== SqueezeNet end-to-end: untuned vs tuned (model-based) ===");
     let g = squeezenet(1, 224, 1000);
     for plat in Platform::all() {
-        use unigpu_baselines::vendor::{ours_latency, ours_untuned_latency};
-        use unigpu_tuner::{tune_graph, TunedSchedules, TuningBudget};
-        let budget = TuningBudget { trials_per_workload: 48, ..Default::default() };
-        let db = tune_graph(&g, &plat.gpu, &budget);
-        let before = ours_untuned_latency(&g, &plat).total_ms;
-        let after = ours_latency(&g, &plat, &TunedSchedules::new(db)).total_ms;
+        use unigpu_engine::Engine;
+        let untuned = Engine::builder().platform(plat.clone()).persist(false).build();
+        let tuned = Engine::builder().platform(plat.clone()).persist(false).tuned(48).build();
+        let before = untuned.compile(&g).estimate().total_ms;
+        let after = tuned.compile(&g).estimate().total_ms;
         println!("{:<22} {:.2} -> {:.2} ms ({:.2}x)", plat.name, before, after, before / after);
     }
 }

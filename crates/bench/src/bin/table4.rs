@@ -8,9 +8,8 @@
 //! Convolution schedules are tuned in both columns, isolating the vision-op
 //! effect exactly as the paper does.
 
-use unigpu_baselines::vendor::ours_latency;
 use unigpu_bench::paper::TABLE4;
-use unigpu_bench::{harness_budget, print_ablation, tuned_provider_for};
+use unigpu_bench::{harness_budget, ours_tuned_latency, print_ablation, tuned_provider_for};
 use unigpu_device::{Platform, Vendor};
 use unigpu_graph::passes::optimize;
 use unigpu_graph::{estimate_latency, place, LatencyOptions, PlacementPolicy};
@@ -32,7 +31,7 @@ fn main() {
                 &provider,
                 &LatencyOptions { vision_optimized: false },
             );
-            let after = ours_latency(&g, &platform, &provider);
+            let after = ours_tuned_latency(&g, &platform, &provider);
             let &(pdev, pmodel, pb, pa) = paper_iter.next().expect("9 paper rows");
             assert_eq!(pdev, platform.name);
             assert_eq!(pmodel, entry.name);

@@ -1,28 +1,27 @@
 //! Regenerates Table 5 — convolution auto-tuning before/after for the three
 //! image-classification models across all three platforms.
 //!
-//! "Before" uses the untuned fallback schedules ([`FallbackSchedules`]:
-//! hand-written kernels exist for classic shapes, naive ones for novel
-//! shapes); "After" uses the AutoTVM + GraphTuner searched schedules.
+//! "Before" uses the untuned fallback schedules (hand-written kernels exist
+//! for classic shapes, naive ones for novel shapes), compiled through a
+//! default (untuned) [`Engine`]; "After" uses the AutoTVM + GraphTuner
+//! searched schedules.
 
-use unigpu_baselines::vendor::{ours_latency, ours_untuned_latency};
 use unigpu_bench::paper::TABLE5;
-use unigpu_bench::{harness_budget, print_ablation, tuned_provider_for};
+use unigpu_bench::{harness_budget, ours_tuned_latency, print_ablation, tuned_provider_for};
 use unigpu_device::Platform;
-use unigpu_graph::latency::FallbackSchedules;
+use unigpu_engine::Engine;
 use unigpu_models::classification_zoo;
 
 fn main() {
-    // silence the unused-import lint while keeping the doc link honest
-    let _ = FallbackSchedules;
     let mut rows = Vec::new();
     let mut paper_iter = TABLE5.iter();
     for platform in Platform::all() {
         let provider = tuned_provider_for(&platform, &harness_budget());
+        let untuned = Engine::builder().platform(platform.clone()).persist(false).build();
         for entry in classification_zoo() {
             let g = (entry.build)(false);
-            let before = ours_untuned_latency(&g, &platform);
-            let after = ours_latency(&g, &platform, &provider);
+            let before = untuned.compile(&g).estimate();
+            let after = ours_tuned_latency(&g, &platform, &provider);
             let &(pdev, pmodel, pb, pa) = paper_iter.next().expect("9 paper rows");
             assert_eq!(pdev, platform.name);
             assert_eq!(pmodel, entry.name);

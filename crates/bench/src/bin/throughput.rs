@@ -1,0 +1,77 @@
+//! Serving-throughput sweep: throughput and latency percentiles versus
+//! maximum batch size, through the engine's batch scheduler.
+//!
+//! Larger batches amortize kernel-launch overhead (higher throughput) at
+//! the price of queueing delay (higher tail latency) — the classic serving
+//! trade-off, here priced entirely on the simulated device timeline.
+//!
+//! ```text
+//! cargo run --release -p unigpu-bench --bin throughput [MODEL] [PLATFORM]
+//! ```
+
+use std::time::Duration;
+use unigpu_device::{Platform, Vendor};
+use unigpu_engine::{uniform_requests, Engine, ServeConfig};
+use unigpu_models::full_zoo;
+use unigpu_telemetry::{MetricsRegistry, SpanRecorder};
+
+const REQUESTS: usize = 64;
+const WORKERS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
+    let platform = args
+        .get(1)
+        .map(|s| Platform::by_name(s).expect("unknown platform (use deeplens|aisage|nano)"))
+        .unwrap_or_else(Platform::deeplens);
+    let entry = full_zoo()
+        .into_iter()
+        .find(|e| e.name == model)
+        .expect("unknown model; see `unigpu models`");
+    let g = (entry.build)(platform.gpu.vendor == Vendor::Arm);
+
+    let engine = Engine::builder().platform(platform.clone()).build();
+    let compiled = engine.compile(&g);
+    if compiled.from_cache() {
+        println!("(artifact cache hit — compile skipped)");
+    }
+    let single = compiled.estimate_batch_ms(1);
+
+    println!(
+        "=== serving throughput sweep — {model} on {} ({REQUESTS} requests, {WORKERS} workers, \
+         single-sample {single:.2} ms) ===",
+        platform.name
+    );
+    println!(
+        "{:>6} {:>14} {:>10} {:>10} {:>11} {:>8}",
+        "batch", "thruput(req/s)", "p50(ms)", "p99(ms)", "queue(ms)", "batches"
+    );
+    for max_batch in [1usize, 2, 4, 8, 16] {
+        let spans = SpanRecorder::new();
+        let metrics = MetricsRegistry::new();
+        let cfg = ServeConfig {
+            concurrency: WORKERS,
+            max_batch,
+            batch_window: Duration::from_millis(2),
+        };
+        // offered load near aggregate capacity so batches actually form
+        let requests = uniform_requests(&compiled, REQUESTS, single / WORKERS as f64);
+        let report = compiled.serve(requests, &cfg, &spans, &metrics);
+        let lat = metrics
+            .histogram_summary("engine.latency_ms")
+            .expect("latency histogram");
+        let queue = metrics
+            .histogram_summary("engine.queue_ms")
+            .expect("queue histogram");
+        println!(
+            "{:>6} {:>14.1} {:>10.2} {:>10.2} {:>11.2} {:>8}",
+            max_batch,
+            report.throughput_rps(),
+            lat.p50,
+            lat.p99,
+            queue.mean,
+            report.batches
+        );
+    }
+}

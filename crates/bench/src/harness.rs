@@ -1,12 +1,13 @@
 //! Shared harness plumbing: tuning-database caching and table printing.
 
 use std::path::PathBuf;
-use unigpu_baselines::vendor::ours_latency;
 use unigpu_device::Platform;
-use unigpu_graph::{Graph, LatencyReport};
+use unigpu_engine::Engine;
+use unigpu_graph::passes::optimize;
+use unigpu_graph::{estimate_latency, place, Graph, LatencyOptions, LatencyReport, PlacementPolicy};
 use unigpu_models::full_zoo;
 use unigpu_telemetry::{tel_info, tel_warn};
-use unigpu_tuner::{tune_graph, Database, TunedSchedules, TuningBudget};
+use unigpu_tuner::{Database, TunedSchedules, TuningBudget};
 
 /// Where tuning databases are cached between harness runs (§3.2.3's
 /// "database to store the results for every convolution workload on each
@@ -63,12 +64,18 @@ pub fn tuned_provider_for(platform: &Platform, budget: &TuningBudget) -> TunedSc
             missing.len(),
             budget.trials_per_workload
         );
+        // compile through the engine so each model's search lands in the
+        // artifact cache too (a later `unigpu serve --tuned` hits it)
+        let engine = Engine::builder()
+            .platform(platform.clone())
+            .budget(*budget)
+            .tuned(budget.trials_per_workload)
+            .cache_dir(db_dir().join("artifacts"))
+            .build();
         for g in missing {
-            let model_db = tune_graph(g, &platform.gpu, budget);
-            for line in model_db.to_json_lines().lines() {
-                if let Ok(rec) = serde_json::from_str(line) {
-                    db.insert(rec);
-                }
+            let compiled = engine.compile(g);
+            for rec in compiled.schedule_records() {
+                db.insert(rec);
             }
         }
         db.save(&path).ok();
@@ -76,13 +83,15 @@ pub fn tuned_provider_for(platform: &Platform, budget: &TuningBudget) -> TunedSc
     TunedSchedules::new(db)
 }
 
-/// End-to-end latency of a model under our full tuned pipeline.
+/// End-to-end latency of a model under our full tuned pipeline: graph
+/// optimization, all-GPU placement, optimized vision ops.
 pub fn ours_tuned_latency(
     model: &Graph,
     platform: &Platform,
     provider: &TunedSchedules,
 ) -> LatencyReport {
-    ours_latency(model, platform, provider)
+    let placed = place(&optimize(model), PlacementPolicy::AllGpu);
+    estimate_latency(&placed, platform, provider, &LatencyOptions { vision_optimized: true })
 }
 
 /// One row of an overall-performance table.

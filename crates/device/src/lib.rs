@@ -36,4 +36,4 @@ pub use cost::CostModel;
 pub use exec::{dispatch_chunks, dispatch_map, group_barrier_loop, parallel_for_each_index, Launch};
 pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec, Platform, Vendor};
-pub use timeline::{Timeline, TraceEntry};
+pub use timeline::{MultiTimeline, StreamEvent, Timeline, TraceEntry};

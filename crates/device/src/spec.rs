@@ -329,6 +329,17 @@ impl Platform {
         vec![Platform::deeplens(), Platform::aisage(), Platform::jetson_nano()]
     }
 
+    /// Look up a platform by CLI name or vendor alias
+    /// (`deeplens|intel`, `aisage|mali`, `nano|nvidia`).
+    pub fn by_name(name: &str) -> Option<Platform> {
+        match name {
+            "deeplens" | "intel" => Some(Platform::deeplens()),
+            "aisage" | "mali" => Some(Platform::aisage()),
+            "nano" | "nvidia" => Some(Platform::jetson_nano()),
+            _ => None,
+        }
+    }
+
     /// Theoretical GPU:CPU peak ratio (paper §1: 5.16×, 6.77×, 2.48×).
     pub fn gpu_cpu_ratio(&self) -> f64 {
         self.gpu.peak_gflops / self.cpu.peak_gflops

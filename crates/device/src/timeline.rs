@@ -134,6 +134,118 @@ impl Timeline {
     }
 }
 
+/// One event scheduled on a stream of a [`MultiTimeline`].
+#[derive(Debug, Clone)]
+pub struct StreamEvent {
+    pub name: String,
+    pub stream: usize,
+    pub start_ms: f64,
+    pub duration_ms: f64,
+}
+
+/// A set of independent execution streams over one simulated device — the
+/// multi-queue view a serving engine sees (one lane per worker/stream).
+///
+/// Unlike [`Timeline`], events are priced by the caller (e.g. a whole-graph
+/// latency estimate) and placed with explicit readiness constraints: an
+/// event starts no earlier than both its `ready_ms` (request arrival /
+/// dependency) and the stream's previous completion.
+#[derive(Debug, Clone)]
+pub struct MultiTimeline {
+    free_at: Vec<f64>,
+    events: Vec<StreamEvent>,
+}
+
+impl MultiTimeline {
+    /// A timeline with `streams` independent lanes, all idle at t = 0.
+    pub fn new(streams: usize) -> Self {
+        MultiTimeline { free_at: vec![0.0; streams.max(1)], events: Vec::new() }
+    }
+
+    pub fn streams(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Simulated time at which `stream` finishes its queued work.
+    pub fn free_at(&self, stream: usize) -> f64 {
+        self.free_at[stream]
+    }
+
+    /// The stream that frees up earliest (ties break to the lowest index).
+    pub fn least_loaded(&self) -> usize {
+        self.free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Schedule an event on `stream`: it starts at
+    /// `max(ready_ms, free_at(stream))` and occupies the stream for
+    /// `duration_ms`. Returns the start time.
+    pub fn schedule(
+        &mut self,
+        stream: usize,
+        name: impl Into<String>,
+        ready_ms: f64,
+        duration_ms: f64,
+    ) -> f64 {
+        let start = self.free_at[stream].max(ready_ms);
+        self.free_at[stream] = start + duration_ms;
+        self.events.push(StreamEvent {
+            name: name.into(),
+            stream,
+            start_ms: start,
+            duration_ms,
+        });
+        start
+    }
+
+    /// Completion time of the last-finishing stream.
+    pub fn makespan_ms(&self) -> f64 {
+        self.free_at.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fraction of the makespan `stream` spent busy (0 when nothing ran).
+    pub fn utilization(&self, stream: usize) -> f64 {
+        let total = self.makespan_ms();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.stream == stream)
+            .map(|e| e.duration_ms)
+            .sum();
+        busy / total
+    }
+
+    /// Scheduled events in scheduling order.
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// Export every stream as its own Chrome-trace lane (`tid = base_lane +
+    /// stream`), named `stream N`.
+    pub fn add_to_trace(&self, trace: &mut unigpu_telemetry::ChromeTrace, base_lane: u32) {
+        for s in 0..self.streams() {
+            trace.name_lane(base_lane + s as u32, format!("stream {s}"));
+        }
+        for e in &self.events {
+            trace.duration(
+                e.name.clone(),
+                "stream",
+                e.start_ms * 1000.0,
+                e.duration_ms * 1000.0,
+                base_lane + e.stream as u32,
+                vec![],
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +328,43 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.elapsed_ms(), 0.0);
         assert!(t.hotspots(3).is_empty());
+    }
+
+    #[test]
+    fn multi_timeline_respects_readiness_and_stream_order() {
+        let mut mt = MultiTimeline::new(2);
+        // stream 0: two back-to-back events; the second queues behind the first
+        assert_eq!(mt.schedule(0, "a", 0.0, 5.0), 0.0);
+        assert_eq!(mt.schedule(0, "b", 2.0, 3.0), 5.0, "waits for stream, not readiness");
+        // stream 1 is independent, but readiness still gates the start
+        assert_eq!(mt.schedule(1, "c", 4.0, 1.0), 4.0);
+        assert_eq!(mt.free_at(0), 8.0);
+        assert_eq!(mt.free_at(1), 5.0);
+        assert_eq!(mt.makespan_ms(), 8.0);
+        assert_eq!(mt.least_loaded(), 1);
+        assert_eq!(mt.events().len(), 3);
+    }
+
+    #[test]
+    fn multi_timeline_utilization_and_trace_lanes() {
+        let mut mt = MultiTimeline::new(2);
+        mt.schedule(0, "x", 0.0, 4.0);
+        mt.schedule(1, "y", 0.0, 2.0);
+        assert!((mt.utilization(0) - 1.0).abs() < 1e-12);
+        assert!((mt.utilization(1) - 0.5).abs() < 1e-12);
+        let mut trace = unigpu_telemetry::ChromeTrace::new();
+        mt.add_to_trace(&mut trace, 10);
+        assert_eq!(trace.events().len(), 2);
+        let json = trace.to_json();
+        assert!(json.contains("\"tid\":10") && json.contains("\"tid\":11"), "{json}");
+        assert!(json.contains("stream 0"));
+    }
+
+    #[test]
+    fn multi_timeline_zero_streams_clamps_to_one() {
+        let mt = MultiTimeline::new(0);
+        assert_eq!(mt.streams(), 1);
+        assert_eq!(mt.least_loaded(), 0);
+        assert_eq!(mt.utilization(0), 0.0);
     }
 }

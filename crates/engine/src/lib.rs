@@ -1,0 +1,42 @@
+//! # unigpu-engine
+//!
+//! The serving subsystem: the deployment story on top of the paper's
+//! optimization pipeline. Three pieces:
+//!
+//! * [`artifact`] — compile a model *once* into an [`Artifact`] (optimized
+//!   graph identity, placement cost table, tuned schedule records) with
+//!   JSONL persistence, so minutes of schedule search amortize across
+//!   processes;
+//! * [`cache`] — a bounded LRU [`ArtifactCache`] over artifacts; eviction
+//!   drops memory only, corrupt disk artifacts are deleted and recompiled,
+//!   never crashed on;
+//! * [`compiled`]/[`serve`] — the [`Engine`]/[`CompiledModel`] API and the
+//!   batched request scheduler: concurrent requests coalesce into
+//!   same-shape batches (bounded size and wait window) and execute on the
+//!   simulated multi-stream device timeline, reporting per-request
+//!   queueing/latency and aggregate throughput through telemetry.
+//!
+//! Typical use:
+//!
+//! ```text
+//! let engine = Engine::builder().platform(Platform::jetson_nano()).tuned(64).build();
+//! let compiled = engine.compile(&model);      // second process: cache hit
+//! let report = compiled.estimate();           // single-sample latency
+//! let served = compiled.serve(requests, &ServeConfig::default(), &spans, &metrics);
+//! ```
+
+pub mod artifact;
+pub mod cache;
+pub mod compiled;
+pub mod serve;
+
+pub use artifact::{
+    fingerprint, records_digest, Artifact, ArtifactKey, ArtifactMeta, TuningState, ARTIFACT_KIND,
+    ARTIFACT_VERSION,
+};
+pub use cache::{default_artifact_dir, ArtifactCache, CacheStats};
+pub use compiled::{CompiledModel, Engine, EngineBuilder};
+pub use serve::{
+    serve, uniform_requests, InferenceRequest, RequestQueue, RequestResult, ServeConfig,
+    ServeReport, LANE_WORKER_BASE,
+};

@@ -1,0 +1,432 @@
+//! Concurrent serving: a request queue with shape-aware batch coalescing
+//! and a worker pool executing on the simulated device timeline.
+//!
+//! Workers are real `std::thread`s; *execution* is priced on the simulated
+//! clock. A batch becomes ready at the latest arrival among its requests,
+//! starts at `max(ready, worker lane free)`, and runs for the compiled
+//! batched estimate ([`CompiledModel::estimate_batch_ms`]). Per-request
+//! latency therefore decomposes exactly as queueing delay (`start −
+//! arrival`) plus execution (`done − start`), and throughput falls out of
+//! the timeline makespan.
+
+use crate::compiled::CompiledModel;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use unigpu_device::MultiTimeline;
+use unigpu_telemetry::{MetricsRegistry, SpanRecord, SpanRecorder};
+use unigpu_tensor::Shape;
+
+/// First Chrome-trace lane used by serving workers (lanes 0–2 belong to the
+/// estimator's GPU/CPU/transfer lanes).
+pub const LANE_WORKER_BASE: u32 = 8;
+
+const POISONED: &str = "request queue poisoned";
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    pub id: usize,
+    /// Input shape; only same-shape requests coalesce into a batch.
+    pub shape: Shape,
+    /// Arrival time on the simulated clock, ms.
+    pub arrival_ms: f64,
+}
+
+/// Batching and concurrency knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each with its own simulated device stream.
+    pub concurrency: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Wall-clock time a worker holds an underfull batch open for more
+    /// same-shape arrivals before flushing it.
+    pub batch_window: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            concurrency: 2,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<InferenceRequest>,
+    closed: bool,
+}
+
+/// Thread-safe FIFO of requests with shape-aware batch extraction.
+#[derive(Debug, Default)]
+pub struct RequestQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl RequestQueue {
+    pub fn new() -> Self {
+        RequestQueue::default()
+    }
+
+    pub fn push(&self, req: InferenceRequest) {
+        self.state.lock().expect(POISONED).queue.push_back(req);
+        self.ready.notify_all();
+    }
+
+    /// Mark the queue closed: blocked `pop_batch` calls flush what they
+    /// hold and then return `None` once the queue drains.
+    pub fn close(&self) {
+        self.state.lock().expect(POISONED).closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect(POISONED).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pop the next batch: up to `max` requests sharing the shape of the
+    /// queue's front request. Mismatched shapes never coalesce — a batch is
+    /// only the *contiguous* same-shape run at the front, so cross-shape
+    /// FIFO order is preserved. An underfull batch is held open up to
+    /// `window` for more same-shape arrivals, but flushes immediately when
+    /// it fills, when a mismatched request is already waiting behind it
+    /// (holding on would only delay that request), or when the queue
+    /// closes. Returns `None` once the queue is closed and drained.
+    pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<InferenceRequest>> {
+        let max = max.max(1);
+        let mut st = self.state.lock().expect(POISONED);
+        let mut deadline: Option<Instant> = None;
+        loop {
+            while st.queue.is_empty() {
+                if st.closed {
+                    return None;
+                }
+                st = self.ready.wait(st).expect(POISONED);
+            }
+            // the window opens when this worker first sees a request
+            let flush_at = *deadline.get_or_insert_with(|| Instant::now() + window);
+            let anchor = st.queue.front().expect("non-empty queue").shape.clone();
+            let matching = st.queue.iter().take_while(|r| r.shape == anchor).count();
+            let take = matching.min(max);
+            let now = Instant::now();
+            if take == max || st.closed || matching < st.queue.len() || now >= flush_at {
+                return Some(st.queue.drain(..take).collect());
+            }
+            let (guard, _) = self.ready.wait_timeout(st, flush_at - now).expect(POISONED);
+            st = guard;
+        }
+    }
+}
+
+/// Outcome of one request on the simulated clock.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    pub id: usize,
+    pub arrival_ms: f64,
+    /// When the batch containing this request started executing.
+    pub start_ms: f64,
+    pub done_ms: f64,
+    /// Size of the batch it rode in.
+    pub batch_size: usize,
+    /// Worker (device stream) that executed it.
+    pub worker: usize,
+}
+
+impl RequestResult {
+    /// Time spent queued before execution started.
+    pub fn queue_ms(&self) -> f64 {
+        self.start_ms - self.arrival_ms
+    }
+
+    /// Execution time of the batch.
+    pub fn exec_ms(&self) -> f64 {
+        self.done_ms - self.start_ms
+    }
+
+    /// End-to-end latency: queueing + execution.
+    pub fn latency_ms(&self) -> f64 {
+        self.done_ms - self.arrival_ms
+    }
+}
+
+/// Aggregate outcome of a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request results, sorted by request id.
+    pub results: Vec<RequestResult>,
+    /// Batches executed.
+    pub batches: usize,
+    /// Simulated time at which the last batch finished, ms.
+    pub makespan_ms: f64,
+    /// The per-worker device timeline (for trace export / utilization).
+    pub timeline: MultiTimeline,
+}
+
+impl ServeReport {
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / (self.makespan_ms / 1000.0)
+        }
+    }
+
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.results
+                .iter()
+                .map(RequestResult::latency_ms)
+                .sum::<f64>()
+                / self.results.len() as f64
+        }
+    }
+
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.results.len() as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Serve a fixed request set through a compiled model and report
+/// per-request latency plus throughput. Emits one span per request (lane
+/// `LANE_WORKER_BASE + worker`) and `engine.*` metrics:
+/// `engine.requests`/`engine.batches` counters,
+/// `engine.queue_ms`/`engine.latency_ms`/`engine.exec_ms`/`engine.batch_size`
+/// histograms, and `engine.throughput_rps`/`engine.makespan_ms` gauges.
+pub fn serve(
+    compiled: &CompiledModel,
+    mut requests: Vec<InferenceRequest>,
+    cfg: &ServeConfig,
+    spans: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServeReport {
+    let workers = cfg.concurrency.max(1);
+    requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+
+    let queue = RequestQueue::new();
+    let timeline = Mutex::new(MultiTimeline::new(workers));
+    let results = Mutex::new(Vec::<RequestResult>::new());
+    let batches = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let timeline = &timeline;
+            let results = &results;
+            let batches = &batches;
+            scope.spawn(move || {
+                while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.batch_window) {
+                    let exec_ms = compiled.estimate_batch_ms(batch.len());
+                    let ready_ms = batch.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
+                    let idx = batches.fetch_add(1, Ordering::Relaxed);
+                    let start = timeline.lock().expect("timeline poisoned").schedule(
+                        w,
+                        format!("batch{idx}[{}]", batch.len()),
+                        ready_ms,
+                        exec_ms,
+                    );
+                    let done = start + exec_ms;
+                    metrics.inc("engine.batches");
+                    metrics.observe("engine.batch_size", batch.len() as f64);
+                    metrics.observe("engine.exec_ms", exec_ms);
+                    let mut out = Vec::with_capacity(batch.len());
+                    for r in &batch {
+                        metrics.inc("engine.requests");
+                        metrics.observe("engine.queue_ms", start - r.arrival_ms);
+                        metrics.observe("engine.latency_ms", done - r.arrival_ms);
+                        spans.record(SpanRecord {
+                            name: format!("req{}", r.id),
+                            category: "request".into(),
+                            start_us: start * 1000.0,
+                            dur_us: exec_ms * 1000.0,
+                            lane: LANE_WORKER_BASE + w as u32,
+                            attrs: vec![
+                                ("batch".into(), batch.len().to_string()),
+                                ("worker".into(), w.to_string()),
+                                ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
+                            ],
+                        });
+                        out.push(RequestResult {
+                            id: r.id,
+                            arrival_ms: r.arrival_ms,
+                            start_ms: start,
+                            done_ms: done,
+                            batch_size: batch.len(),
+                            worker: w,
+                        });
+                    }
+                    results.lock().expect("results poisoned").extend(out);
+                }
+            });
+        }
+        // feed in arrival order; workers drain concurrently
+        for r in requests {
+            queue.push(r);
+        }
+        queue.close();
+    });
+
+    let timeline = timeline.into_inner().expect("timeline poisoned");
+    let mut results = results.into_inner().expect("results poisoned");
+    results.sort_by_key(|r| r.id);
+    let makespan_ms = timeline.makespan_ms();
+    let report = ServeReport {
+        results,
+        batches: batches.load(Ordering::Relaxed),
+        makespan_ms,
+        timeline,
+    };
+    metrics.set_gauge("engine.makespan_ms", makespan_ms);
+    metrics.set_gauge("engine.throughput_rps", report.throughput_rps());
+    report
+}
+
+impl CompiledModel {
+    /// Convenience wrapper over [`serve`].
+    pub fn serve(
+        &self,
+        requests: Vec<InferenceRequest>,
+        cfg: &ServeConfig,
+        spans: &SpanRecorder,
+        metrics: &MetricsRegistry,
+    ) -> ServeReport {
+        serve(self, requests, cfg, spans, metrics)
+    }
+}
+
+/// `n` same-shape requests for a compiled model, evenly spaced
+/// `interval_ms` apart on the simulated clock (ids `0..n`).
+pub fn uniform_requests(
+    compiled: &CompiledModel,
+    n: usize,
+    interval_ms: f64,
+) -> Vec<InferenceRequest> {
+    let shape = compiled.input_shape();
+    (0..n)
+        .map(|i| InferenceRequest {
+            id: i,
+            shape: shape.clone(),
+            arrival_ms: i as f64 * interval_ms,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, dims: &[usize], arrival_ms: f64) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            shape: Shape(dims.to_vec()),
+            arrival_ms,
+        }
+    }
+
+    #[test]
+    fn pop_batch_takes_contiguous_same_shape_run() {
+        let q = RequestQueue::new();
+        for i in 0..4 {
+            q.push(req(i, &[1, 3, 8, 8], 0.0));
+        }
+        q.push(req(4, &[1, 3, 16, 16], 0.0));
+        let batch = q.pop_batch(8, Duration::from_secs(5)).unwrap();
+        // flushes immediately despite the long window: a mismatched shape
+        // is already waiting behind the run
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        q.close();
+        let tail = q.pop_batch(8, Duration::from_secs(5)).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].id, 4);
+        assert!(q.pop_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn mismatched_shapes_never_coalesce() {
+        let q = RequestQueue::new();
+        for i in 0..6 {
+            let dims: &[usize] = if i % 2 == 0 {
+                &[1, 3, 8, 8]
+            } else {
+                &[1, 3, 16, 16]
+            };
+            q.push(req(i, dims, 0.0));
+        }
+        q.close();
+        let mut order = Vec::new();
+        while let Some(batch) = q.pop_batch(8, Duration::from_millis(1)) {
+            assert!(
+                batch.iter().all(|r| r.shape == batch[0].shape),
+                "every batch is shape-uniform"
+            );
+            assert_eq!(batch.len(), 1, "alternating shapes force singleton batches");
+            order.extend(batch.iter().map(|r| r.id));
+        }
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 3, 4, 5],
+            "FIFO order preserved across shapes"
+        );
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_the_window() {
+        let q = RequestQueue::new();
+        for i in 0..8 {
+            q.push(req(i, &[1, 3, 8, 8], 0.0));
+        }
+        let t0 = Instant::now();
+        let batch = q.pop_batch(4, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "no window stall on a full batch"
+        );
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn window_timeout_flushes_partial_batch() {
+        let q = RequestQueue::new();
+        for i in 0..3 {
+            q.push(req(i, &[1, 3, 8, 8], 0.0));
+        }
+        let window = Duration::from_millis(40);
+        let t0 = Instant::now();
+        let batch = q.pop_batch(8, window).unwrap(); // queue stays open
+        assert_eq!(batch.len(), 3, "partial batch flushed at the window");
+        assert!(
+            t0.elapsed() >= window,
+            "held open for the full window first"
+        );
+    }
+
+    #[test]
+    fn close_wakes_empty_waiters() {
+        let q = RequestQueue::new();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| q.pop_batch(4, Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            assert!(waiter.join().unwrap().is_none());
+        });
+    }
+}

@@ -129,6 +129,37 @@ pub fn optimize(g: &Graph) -> Graph {
     fuse_ops(&fold_batch_norms(g))
 }
 
+/// Rewrite a graph to a new leading batch dimension: inputs get `batch` as
+/// dim 0 and every convolution workload is re-keyed to the new batch size.
+/// Weights and other constants are untouched (they are batch-independent),
+/// and every shape-derived operator (pooling, dense, softmax, ...) follows
+/// automatically through shape inference.
+///
+/// This is the serving engine's batched-latency primitive: estimate the
+/// rebatched graph to price a coalesced batch of `batch` requests as one
+/// launch sequence (launch overheads amortize; data-parallel work scales).
+///
+/// Detection graphs contain vision-control operators whose shape rules pin
+/// batch 1 (`MultiboxPrior`, `YoloDetect`); callers should check
+/// [`Graph::nodes`] for [`OpKind::is_vision_control`] and fall back to
+/// linear scaling for those.
+pub fn rebatch(g: &Graph, batch: usize) -> Graph {
+    let batch = batch.max(1);
+    let mut out = g.clone();
+    for n in &mut out.nodes {
+        match &mut n.op {
+            OpKind::Input { shape } => {
+                if shape.rank() >= 1 {
+                    shape.0[0] = batch;
+                }
+            }
+            OpKind::Conv2d { w, .. } => w.batch = batch,
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Execution device of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Device {
@@ -361,5 +392,50 @@ mod tests {
         let g = conv_bn_relu_graph();
         let p = place(&g, PlacementPolicy::FallbackVision);
         assert_eq!(p.copy_count(), 0, "weights must not generate copies");
+    }
+
+    #[test]
+    fn rebatch_rewrites_inputs_and_conv_workloads_consistently() {
+        let g = optimize(&conv_bn_relu_graph());
+        let b = rebatch(&g, 4);
+        // shape inference doubles as validation: every op follows the batch
+        let shapes = b.infer_shapes();
+        for (n, s) in b.nodes.iter().zip(&shapes) {
+            match &n.op {
+                OpKind::Input { .. } => assert_eq!(s.dim(0), 4),
+                OpKind::Conv2d { w, .. } => {
+                    assert_eq!(w.batch, 4);
+                    assert_eq!(s.dim(0), 4);
+                }
+                OpKind::Constant(_) => {} // weights stay batch-independent
+                _ => assert_eq!(s.dim(0), 4, "{} must carry the batch", n.name),
+            }
+        }
+        // rebatch(1) is the identity
+        assert_eq!(rebatch(&g, 1), g);
+    }
+
+    #[test]
+    fn batched_latency_is_sublinear_in_batch() {
+        use crate::latency::{estimate_latency, FallbackSchedules, LatencyOptions};
+        use unigpu_device::Platform;
+        let g = optimize(&conv_bn_relu_graph());
+        let plat = Platform::deeplens();
+        let opts = LatencyOptions::default();
+        let one =
+            estimate_latency(&place(&g, PlacementPolicy::AllGpu), &plat, &FallbackSchedules, &opts);
+        let eight = estimate_latency(
+            &place(&rebatch(&g, 8), PlacementPolicy::AllGpu),
+            &plat,
+            &FallbackSchedules,
+            &opts,
+        );
+        assert!(eight.total_ms > one.total_ms, "more work takes longer");
+        assert!(
+            eight.total_ms < 8.0 * one.total_ms,
+            "launch overheads amortize: batch-8 {:.4} ms must beat 8 × {:.4} ms",
+            eight.total_ms,
+            one.total_ms
+        );
     }
 }

@@ -99,6 +99,7 @@ impl Histogram {
             max: if self.count == 0 { 0.0 } else { self.max },
             p50: self.quantile(0.5),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -113,6 +114,7 @@ pub struct HistogramSummary {
     pub max: f64,
     pub p50: f64,
     pub p95: f64,
+    pub p99: f64,
 }
 
 #[derive(Debug, Default)]
@@ -249,6 +251,7 @@ mod tests {
         assert_eq!(s.max, 8.0);
         assert!(s.p50 >= 1.0 && s.p50 <= 8.0);
         assert!(s.p95 >= s.p50);
+        assert!(s.p99 >= s.p95);
     }
 
     #[test]

@@ -202,6 +202,17 @@ impl TunedSchedules {
     pub fn database(&self) -> &Database {
         &self.db
     }
+
+    /// Serialize the tuned state as sorted records — the form a compiled-
+    /// model artifact embeds (schedules only; no weights, no graph).
+    pub fn to_records(&self) -> Vec<TuneRecord> {
+        self.db.records()
+    }
+
+    /// Rebuild the provider from artifact records.
+    pub fn from_records(records: impl IntoIterator<Item = TuneRecord>) -> Self {
+        TunedSchedules { db: Database::from_records(records) }
+    }
 }
 
 impl ScheduleProvider for TunedSchedules {
@@ -315,6 +326,22 @@ mod tests {
         }
         assert_eq!(lines, budget.trials_per_workload, "one line per trial");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tuned_schedules_round_trip_through_records() {
+        let g = conv_chain_graph();
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let budget = TuningBudget { trials_per_workload: 32, ..Default::default() };
+        let tuned = TunedSchedules::new(tune_graph(&g, &spec, &budget));
+        let records = tuned.to_records();
+        assert_eq!(records.len(), 3);
+        assert!(records.windows(2).all(|p| (&p[0].device, &p[0].workload)
+            <= (&p[1].device, &p[1].workload)));
+        let back = TunedSchedules::from_records(records);
+        for w in conv_workloads(&g) {
+            assert_eq!(back.conv_config(&w, &spec), tuned.conv_config(&w, &spec));
+        }
     }
 
     #[test]

@@ -67,6 +67,23 @@ impl Database {
         self.records.is_empty()
     }
 
+    /// All records in deterministic `(device, workload)` order — the
+    /// serialization surface used by compiled-model artifacts.
+    pub fn records(&self) -> Vec<TuneRecord> {
+        let mut recs: Vec<TuneRecord> = self.records.values().cloned().collect();
+        recs.sort_by(|a, b| (&a.device, &a.workload).cmp(&(&b.device, &b.workload)));
+        recs
+    }
+
+    /// Rebuild a database from serialized records (keeps the best per key).
+    pub fn from_records(records: impl IntoIterator<Item = TuneRecord>) -> Self {
+        let mut db = Database::new();
+        for r in records {
+            db.insert(r);
+        }
+        db
+    }
+
     /// Serialize to JSON lines (one record per line, AutoTVM-log style).
     pub fn to_json_lines(&self) -> String {
         let mut recs: Vec<&TuneRecord> = self.records.values().collect();

@@ -8,9 +8,9 @@
 
 use unigpu::device::Platform;
 use unigpu::graph::latency::FallbackSchedules;
-use unigpu::graph::passes::optimize;
 use unigpu::graph::{estimate_latency, place, LatencyOptions, PlacementPolicy};
 use unigpu::models::{mobilenet, resnet50, squeezenet};
+use unigpu::Engine;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "deeplens".into());
@@ -31,6 +31,10 @@ fn main() {
         ("SqueezeNet1.0", squeezenet(1, 224, 1000)),
     ];
     let opts = LatencyOptions::default();
+    // The engine optimizes, places, and schedules in one `compile` call; the
+    // raw "before" number is priced on the primitives so the comparison shows
+    // exactly what graph optimization buys.
+    let engine = Engine::builder().platform(platform.clone()).persist(false).build();
 
     for (name, g) in &models {
         let raw = estimate_latency(
@@ -39,19 +43,14 @@ fn main() {
             &FallbackSchedules,
             &opts,
         );
-        let opt_graph = optimize(g);
-        let fused = estimate_latency(
-            &place(&opt_graph, PlacementPolicy::AllGpu),
-            &platform,
-            &FallbackSchedules,
-            &opts,
-        );
+        let compiled = engine.compile(g);
+        let fused = compiled.estimate();
         println!(
             "{name:<16} unfused {:>8.2} ms → optimized graph {:>8.2} ms ({} ops → {} ops)",
             raw.total_ms,
             fused.total_ms,
             g.op_count(),
-            opt_graph.op_count()
+            compiled.graph().op_count()
         );
 
         // top-5 most expensive kernels

@@ -7,11 +7,11 @@
 //! ```
 
 use unigpu::device::Platform;
-use unigpu::graph::latency::FallbackSchedules;
 use unigpu::graph::passes::optimize;
-use unigpu::graph::{estimate_latency, place, Executor, LatencyOptions, PlacementPolicy};
+use unigpu::graph::{Executor, PlacementPolicy};
 use unigpu::models::ssd_mobilenet;
 use unigpu::tensor::init::random_uniform;
+use unigpu::Engine;
 
 fn main() {
     // A reduced-size SSD so the functional pass runs in seconds on a laptop.
@@ -40,31 +40,29 @@ fn main() {
         println!("  (none above threshold — random weights)");
     }
 
-    // Placement study on each platform.
+    // Placement study on each platform: one engine per §3.1.2 policy, the
+    // copy count read straight off the compiled placement.
     println!("\nplacement policies (simulated latency):");
-    let opts = LatencyOptions::default();
     for platform in Platform::all() {
-        let all_gpu = estimate_latency(
-            &place(&g, PlacementPolicy::AllGpu),
-            &platform,
-            &FallbackSchedules,
-            &opts,
-        );
-        let fb = place(&g, PlacementPolicy::FallbackVision);
-        let fallback = estimate_latency(&fb, &platform, &FallbackSchedules, &opts);
-        let cpu = estimate_latency(
-            &place(&g, PlacementPolicy::AllCpu),
-            &platform,
-            &FallbackSchedules,
-            &opts,
-        );
+        let compile_with = |policy: PlacementPolicy| {
+            Engine::builder()
+                .platform(platform.clone())
+                .policy(policy)
+                .persist(false)
+                .build()
+                .compile(&model)
+        };
+        let all_gpu = compile_with(PlacementPolicy::AllGpu).estimate();
+        let fb = compile_with(PlacementPolicy::FallbackVision);
+        let fallback = fb.estimate();
+        let cpu = compile_with(PlacementPolicy::AllCpu).estimate();
         println!(
             "  {:<22} all-GPU {:>8.2} ms | NMS→CPU {:>8.2} ms ({:+.2}%, {} copies) | all-CPU {:>8.2} ms",
             platform.name,
             all_gpu.total_ms,
             fallback.total_ms,
             (fallback.total_ms / all_gpu.total_ms - 1.0) * 100.0,
-            fb.copy_count(),
+            fb.placement().copy_count(),
             cpu.total_ms,
         );
     }

@@ -5,12 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use unigpu::baselines::vendor::ours_untuned_latency;
 use unigpu::device::Platform;
 use unigpu::graph::passes::optimize;
 use unigpu::graph::Executor;
 use unigpu::models::mobilenet;
 use unigpu::tensor::init::random_uniform;
+use unigpu::Engine;
 
 fn main() {
     // 1. Build a model (a small MobileNet so the functional pass is quick).
@@ -42,10 +42,14 @@ fn main() {
         .unwrap();
     println!("inference OK — top class {} (p = {:.4})", best.0, best.1);
 
-    // 4. Simulated latency on the paper's three edge platforms.
+    // 4. Simulated latency on the paper's three edge platforms, through the
+    //    Engine API (compile once per platform; `.tuned(n)` would add the
+    //    schedule search, and artifacts would cache it across runs).
     println!("\nuntuned single-sample latency (simulated):");
     for platform in Platform::all() {
-        let report = ours_untuned_latency(&model, &platform);
+        let engine = Engine::builder().platform(platform.clone()).persist(false).build();
+        let compiled = engine.compile(&model);
+        let report = compiled.estimate();
         println!(
             "  {:<22} {:>8.2} ms  (conv {:>7.2} ms over {} kernels)",
             platform.name,

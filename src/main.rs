@@ -1,55 +1,57 @@
 //! `unigpu` — command-line front end to the stack, in the spirit of the
 //! paper's deployment story ("enabling model developers to optimize for
 //! inference at the edge" via a service): list models, estimate latency,
-//! tune schedules, export kernels and graphs.
+//! serve batched requests, tune schedules, export kernels and graphs.
 //!
 //! ```text
 //! unigpu models
 //! unigpu estimate ResNet50_v1 --platform nano --tuned
+//! unigpu serve ResNet50_v1 --platform nano --requests 64 --concurrency 4 --batch 8
 //! unigpu profile MobileNet1.0 --device intel --trace trace.json
 //! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
 //! unigpu codegen --target cuda
 //! unigpu dot MobileNet1.0 > mobilenet.dot
 //! ```
 
+use std::time::Duration;
 use unigpu::baselines::baseline_for;
-use unigpu::baselines::vendor::{ours_latency, ours_untuned_latency};
 use unigpu::device::Platform;
-use unigpu::graph::latency::{FallbackSchedules, LANE_CPU, LANE_GPU, LANE_TRANSFER};
+use unigpu::engine::{uniform_requests, ServeConfig, LANE_WORKER_BASE};
+use unigpu::graph::latency::{LANE_CPU, LANE_GPU, LANE_TRANSFER};
 use unigpu::graph::passes::optimize;
-use unigpu::graph::{
-    estimate_latency_traced, parameter_count, place, to_dot, Graph, LatencyOptions,
-    PlacementPolicy,
-};
+use unigpu::graph::{parameter_count, to_dot, Graph, PlacementPolicy};
 use unigpu::ir::codegen::{generate, line_count, Target};
 use unigpu::ir::{lower, LoopTag, Schedule};
 use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
-use unigpu::telemetry::{ChromeTrace, MetricsRegistry, SpanRecorder};
-use unigpu::tuner::{tune_graph, TunedSchedules, TuningBudget};
+use unigpu::telemetry::{tel_error, ChromeTrace, MetricsRegistry, SpanRecorder};
+use unigpu::tuner::{tune_graph, TuningBudget};
+use unigpu::Engine;
 
-fn platform_by_name(name: &str) -> Platform {
-    match name {
-        "deeplens" | "intel" => Platform::deeplens(),
-        "aisage" | "mali" => Platform::aisage(),
-        "nano" | "nvidia" => Platform::jetson_nano(),
-        other => {
-            eprintln!("unknown platform `{other}` (use deeplens|aisage|nano)");
-            std::process::exit(2);
-        }
+/// A user-facing CLI failure: printed through `tel_error!` and mapped to
+/// exit code 2 by `main`, instead of each command exiting on its own.
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
     }
 }
 
-fn model_by_name(name: &str, platform: &Platform) -> Graph {
+fn platform_by_name(name: &str) -> Result<Platform, CliError> {
+    Platform::by_name(name)
+        .ok_or_else(|| CliError(format!("unknown platform `{name}` (use deeplens|aisage|nano)")))
+}
+
+fn model_by_name(name: &str, platform: &Platform) -> Result<Graph, CliError> {
     let aisage = platform.name.contains("aiSage");
-    match full_zoo().into_iter().find(|e| e.name == name) {
-        Some(e) => (e.build)(aisage),
-        None => {
-            eprintln!("unknown model `{name}`; run `unigpu models` for the list");
-            std::process::exit(2);
-        }
-    }
+    full_zoo()
+        .into_iter()
+        .find(|e| e.name == name)
+        .map(|e| (e.build)(aisage))
+        .ok_or_else(|| CliError(format!("unknown model `{name}`; run `unigpu models` for the list")))
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -63,7 +65,7 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn cmd_models() {
+fn cmd_models() -> Result<(), CliError> {
     println!("{:<18} {:>6} {:>6} {:>12} {:>10}", "Model", "ops", "convs", "params", "GFLOPs");
     for e in full_zoo() {
         let g = (e.build)(false);
@@ -76,21 +78,35 @@ fn cmd_models() {
             g.conv_flops() / 1e9
         );
     }
+    Ok(())
 }
 
-fn cmd_estimate(args: &[String]) {
-    let name = args.first().map(String::as_str).unwrap_or("ResNet50_v1");
-    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"));
-    let g = model_by_name(name, &platform);
-    let report = if flag(args, "--tuned") {
+/// Build an engine from the shared CLI flags (`--tuned`, `--trials`,
+/// `--fallback` placement).
+fn engine_for(args: &[String], platform: &Platform) -> Engine {
+    let policy = if flag(args, "--fallback") {
+        PlacementPolicy::FallbackVision
+    } else {
+        PlacementPolicy::AllGpu
+    };
+    let mut builder = Engine::builder().platform(platform.clone()).policy(policy);
+    if flag(args, "--tuned") {
         let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(64);
         eprintln!("[tune] searching schedules ({trials} trials/workload)...");
-        let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
-        let db = tune_graph(&g, &platform.gpu, &budget);
-        ours_latency(&g, &platform, &TunedSchedules::new(db))
-    } else {
-        ours_untuned_latency(&g, &platform)
-    };
+        builder = builder.tuned(trials);
+    }
+    builder.build()
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), CliError> {
+    let name = args.first().map(String::as_str).unwrap_or("ResNet50_v1");
+    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"))?;
+    let g = model_by_name(name, &platform)?;
+    let compiled = engine_for(args, &platform).compile(&g);
+    if compiled.from_cache() {
+        eprintln!("[cache] artifact cache hit (compile skipped)");
+    }
+    let report = compiled.estimate();
     println!(
         "{name} on {}: {:.2} ms  (conv {:.2} ms, vision {:.2} ms, transfers {:.2} ms)",
         platform.name,
@@ -113,45 +129,109 @@ fn cmd_estimate(args: &[String]) {
             println!("  {:<40} {:<18} {:>9.3} ms", t.name, t.op, t.ms);
         }
     }
+    Ok(())
+}
+
+/// `unigpu serve <model> --requests N --concurrency K --batch B` — compile
+/// through the artifact cache, then serve a synthetic request stream through
+/// the batch scheduler and report throughput and latency percentiles from
+/// the telemetry metrics.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("ResNet50_v1");
+    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"))?;
+    let n: usize = opt(args, "--requests").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let concurrency: usize = opt(args, "--concurrency").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let batch: usize = opt(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let window_ms: u64 = opt(args, "--window-ms").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let g = model_by_name(name, &platform)?;
+
+    let engine = engine_for(args, &platform);
+    let t0 = std::time::Instant::now();
+    let compiled = engine.compile(&g);
+    if compiled.from_cache() {
+        println!(
+            "artifact cache hit (compile skipped): {name} on {} [{}]",
+            platform.name,
+            if compiled.is_tuned() { "tuned" } else { "fallback" }
+        );
+    } else {
+        println!(
+            "compiled {name} on {} in {:.2} s (artifact cached for the next run)",
+            platform.name,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // offered load defaults to ~per-worker capacity so batching has work to do
+    let interval = opt(args, "--interval-ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| compiled.estimate_batch_ms(1) / concurrency.max(1) as f64);
+    let cfg = ServeConfig {
+        concurrency,
+        max_batch: batch,
+        batch_window: Duration::from_millis(window_ms),
+    };
+    let spans = SpanRecorder::new();
+    let metrics = MetricsRegistry::new();
+    let report = compiled.serve(uniform_requests(&compiled, n, interval), &cfg, &spans, &metrics);
+
+    let lat = metrics
+        .histogram_summary("engine.latency_ms")
+        .ok_or_else(|| CliError("no latency histogram recorded".into()))?;
+    let queue = metrics
+        .histogram_summary("engine.queue_ms")
+        .ok_or_else(|| CliError("no queueing histogram recorded".into()))?;
+    println!(
+        "served {} requests on {} workers in {:.2} ms simulated ({} batches, mean size {:.1})",
+        report.results.len(),
+        concurrency,
+        report.makespan_ms,
+        report.batches,
+        report.mean_batch_size()
+    );
+    println!(
+        "throughput {:.1} req/s  latency p50 {:.2} ms / p99 {:.2} ms  queueing mean {:.2} ms",
+        metrics.gauge("engine.throughput_rps").unwrap_or(0.0),
+        lat.p50,
+        lat.p99,
+        queue.mean
+    );
+
+    if let Some(path) = opt(args, "--trace") {
+        let mut trace = ChromeTrace::new();
+        for w in 0..concurrency.max(1) {
+            trace.name_lane(LANE_WORKER_BASE + w as u32, format!("worker {w}"));
+        }
+        trace.add_spans(&spans.spans());
+        trace.add_metrics(&metrics.snapshot(), report.makespan_ms * 1000.0);
+        let path = std::path::Path::new(path);
+        trace
+            .write(path)
+            .map_err(|e| CliError(format!("failed to write trace {}: {e}", path.display())))?;
+        println!("trace written to {} ({} events)", path.display(), trace.events().len());
+    }
+    Ok(())
 }
 
 /// `unigpu profile <model> --device <d> --trace out.json` — run the latency
 /// estimator with telemetry enabled, export a Chrome trace (load it in
 /// `chrome://tracing` or Perfetto), and print a hotspot summary.
-fn cmd_profile(args: &[String]) {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let name = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
     let device = opt(args, "--device")
         .or_else(|| opt(args, "--platform"))
         .unwrap_or("deeplens");
-    let platform = platform_by_name(device);
-    let g = optimize(&model_by_name(name, &platform));
-    // FallbackVision puts the §3.1.2 CPU-fallback boundary crossings on the
-    // transfer lane; the default mirrors `ours_latency` (everything on GPU).
-    let policy = if flag(args, "--fallback") {
-        PlacementPolicy::FallbackVision
-    } else {
-        PlacementPolicy::AllGpu
-    };
-    let placed = place(&g, policy);
+    let platform = platform_by_name(device)?;
+    let g = model_by_name(name, &platform)?;
+    let compiled = engine_for(args, &platform).compile(&g);
 
     let spans = SpanRecorder::new();
     let metrics = MetricsRegistry::new();
-    let opts = LatencyOptions { vision_optimized: true };
-    let report = if flag(args, "--tuned") {
-        let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(64);
-        let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
-        let db = tune_graph(&g, &platform.gpu, &budget);
-        estimate_latency_traced(
-            &placed,
-            &platform,
-            &TunedSchedules::new(db),
-            &opts,
-            &spans,
-            &metrics,
-        )
-    } else {
-        estimate_latency_traced(&placed, &platform, &FallbackSchedules, &opts, &spans, &metrics)
-    };
+    let report = compiled.trace(&spans, &metrics);
 
     let mut trace = ChromeTrace::new();
     trace.name_lane(LANE_GPU, format!("GPU: {}", platform.gpu.name));
@@ -161,17 +241,10 @@ fn cmd_profile(args: &[String]) {
     trace.add_metrics(&metrics.snapshot(), report.total_ms * 1000.0);
     if let Some(path) = opt(args, "--trace") {
         let path = std::path::Path::new(path);
-        match trace.write(path) {
-            Ok(()) => println!(
-                "trace written to {} ({} events)",
-                path.display(),
-                trace.events().len()
-            ),
-            Err(e) => {
-                eprintln!("failed to write trace {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
+        trace
+            .write(path)
+            .map_err(|e| CliError(format!("failed to write trace {}: {e}", path.display())))?;
+        println!("trace written to {} ({} events)", path.display(), trace.events().len());
     }
 
     println!(
@@ -182,7 +255,7 @@ fn cmd_profile(args: &[String]) {
         report.gpu_ms,
         report.cpu_ms,
         report.transfer_ms,
-        placed.graph.nodes.len(),
+        compiled.placement().graph.nodes.len(),
         spans.len()
     );
     // Hotspot summary aggregated by op kind — same shape as
@@ -208,25 +281,28 @@ fn cmd_profile(args: &[String]) {
             100.0 * ms / report.total_ms.max(f64::MIN_POSITIVE)
         );
     }
+    Ok(())
 }
 
-fn cmd_tune(args: &[String]) {
+fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     let name = args.first().map(String::as_str).unwrap_or("SqueezeNet1.0");
-    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"));
+    let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"))?;
     let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(96);
-    let g = model_by_name(name, &platform);
+    let g = model_by_name(name, &platform)?;
     let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
     let db = tune_graph(&g, &platform.gpu, &budget);
     println!("tuned {} workloads on {}", db.len(), platform.gpu.name);
     if let Some(path) = opt(args, "--out") {
-        db.save(std::path::Path::new(path)).expect("write tuning db");
+        db.save(std::path::Path::new(path))
+            .map_err(|e| CliError(format!("failed to write tuning db {path}: {e}")))?;
         println!("records written to {path}");
     } else {
         println!("{}", db.to_json_lines());
     }
+    Ok(())
 }
 
-fn cmd_codegen(args: &[String]) {
+fn cmd_codegen(args: &[String]) -> Result<(), CliError> {
     let target = match opt(args, "--target").unwrap_or("opencl") {
         "cuda" => Target::Cuda,
         _ => Target::OpenCl,
@@ -244,13 +320,15 @@ fn cmd_codegen(args: &[String]) {
     let src = generate("conv2d_nchw", &stmt, target);
     eprintln!("// {} lines from one unified-IR schedule", line_count(&src));
     println!("{src}");
+    Ok(())
 }
 
-fn cmd_dot(args: &[String]) {
+fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let name = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
     let platform = Platform::deeplens();
-    let g = optimize(&model_by_name(name, &platform));
+    let g = optimize(&model_by_name(name, &platform)?);
     println!("{}", to_dot(&g));
+    Ok(())
 }
 
 fn usage() -> ! {
@@ -261,6 +339,9 @@ fn usage() -> ! {
            models                         list the model zoo\n\
            estimate <model> [--platform deeplens|aisage|nano] [--tuned]\n\
                     [--trials N] [--baseline] [--per-op]\n\
+           serve <model> [--platform P] [--requests N] [--concurrency K]\n\
+                    [--batch B] [--window-ms W] [--interval-ms I] [--tuned]\n\
+                    [--trace out.json]\n\
            profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
                     [--tuned] [--trials N] [--fallback]\n\
            tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
@@ -272,13 +353,18 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
         Some("estimate") => cmd_estimate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("codegen") => cmd_codegen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         _ => usage(),
+    };
+    if let Err(e) = result {
+        tel_error!("unigpu::cli", "{e}");
+        std::process::exit(2);
     }
 }

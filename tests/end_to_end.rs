@@ -1,6 +1,10 @@
 //! Integration tests spanning the whole stack: model construction → graph
 //! optimization → placement → functional execution → tuning → latency.
 
+// These tests deliberately pin the legacy free-function surface; new code
+// should go through `unigpu::Engine` instead.
+#![allow(deprecated)]
+
 use unigpu::baselines::vendor::{ours_latency, ours_untuned_latency};
 use unigpu::baselines::{baseline_for, openvino};
 use unigpu::device::Platform;
@@ -140,6 +144,21 @@ fn openvino_coverage_gap_reproduces() {
     // while our stack covers everything
     let ours = ours_untuned_latency(&det, &plat);
     assert!(ours.total_ms.is_finite() && ours.total_ms > 0.0);
+}
+
+#[test]
+fn engine_compile_matches_the_legacy_free_functions() {
+    let g = squeezenet(1, 64, 10);
+    let plat = Platform::deeplens();
+    let engine = unigpu::Engine::builder().platform(plat.clone()).persist(false).build();
+    let compiled = engine.compile(&g);
+    let legacy = ours_untuned_latency(&g, &plat);
+    assert!(
+        (compiled.estimate().total_ms - legacy.total_ms).abs() < 1e-9,
+        "the Engine shim contract: compile+estimate == ours_untuned_latency"
+    );
+    // same model, same engine → in-memory artifact cache hit
+    assert!(engine.compile(&g).from_cache());
 }
 
 #[test]

@@ -2,6 +2,10 @@
 //! each test encodes a *shape* of a result (who wins, where the effect is
 //! largest) rather than an absolute number.
 
+// These tests deliberately pin the legacy free-function surface; new code
+// should go through `unigpu::Engine` instead.
+#![allow(deprecated)]
+
 use unigpu::baselines::vendor::{ours_latency, ours_untuned_latency};
 use unigpu::baselines::{acl, baseline_for, cudnn_mxnet, openvino};
 use unigpu::device::Platform;
