@@ -11,22 +11,18 @@ use unigpu_tuner::{Database, TunedSchedules, TuningBudget};
 
 /// Where tuning databases are cached between harness runs (§3.2.3's
 /// "database to store the results for every convolution workload on each
-/// hardware platform").
+/// hardware platform"). Delegates to the tuner's canonical `UNIGPU_DB_DIR`
+/// helper — the same directory `unigpu tune --resume` consults — and
+/// ensures it exists.
 pub fn db_dir() -> PathBuf {
-    let dir = std::env::var("UNIGPU_DB_DIR").unwrap_or_else(|_| "target/tuning".into());
-    let p = PathBuf::from(dir);
+    let p = unigpu_tuner::db_dir();
     std::fs::create_dir_all(&p).ok();
     p
 }
 
 fn db_path(platform: &Platform) -> PathBuf {
-    let slug: String = platform
-        .gpu
-        .name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-        .collect();
-    db_dir().join(format!("{slug}.jsonl"))
+    let _ensure_exists = db_dir();
+    unigpu_tuner::device_db_path(&platform.gpu.name)
 }
 
 /// Load (or produce and cache) the tuned schedules for a platform, covering

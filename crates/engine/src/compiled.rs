@@ -27,11 +27,31 @@ use unigpu_graph::{
 };
 use unigpu_ops::conv::ConvConfig;
 use unigpu_ops::ConvWorkload;
-use unigpu_telemetry::{tel_debug, tel_info, MetricsRegistry, SpanRecorder};
+use unigpu_farm::FarmClient;
+use unigpu_telemetry::{tel_debug, tel_info, tel_warn, MetricsRegistry, SpanRecorder};
 use unigpu_tensor::{Shape, Tensor};
-use unigpu_tuner::{tune_graph, Database, TuneRecord, TunedSchedules, TuningBudget};
+use unigpu_tuner::{tune_graph, tune_graph_with, Database, TuneRecord, TunedSchedules, TuningBudget};
 
 type SharedProvider = Arc<dyn ScheduleProvider + Send + Sync>;
+
+/// Run tensor-level search for `graph`, honouring `UNIGPU_FARM_ADDR`: when
+/// set (and non-empty) the search is dispatched to that farm tracker's
+/// worker pool — same per-workload seeds, so the database is bit-identical
+/// to the in-process one at zero noise. Any farm failure logs a warning and
+/// falls back to in-process serial search rather than failing compilation.
+fn search_database(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Database {
+    let addr = std::env::var("UNIGPU_FARM_ADDR").unwrap_or_default();
+    if !addr.is_empty() {
+        tel_info!("engine", "dispatching schedule search to farm at {addr}");
+        match tune_graph_with(graph, spec, budget, &FarmClient::new(addr.clone()), None) {
+            Ok(db) => return db,
+            Err(e) => {
+                tel_warn!("engine", "farm at {addr} failed ({e}); falling back to in-process search");
+            }
+        }
+    }
+    tune_graph(graph, spec, budget)
+}
 
 /// Normalizes workload batch to 1 before lookup, so schedules tuned on the
 /// single-sample graph serve rebatched graphs (`ConvWorkload::key` embeds
@@ -273,7 +293,7 @@ impl Engine {
                 inner.key.model,
                 budget.trials_per_workload
             );
-            let tuned = TunedSchedules::new(tune_graph(&graph, &platform.gpu, &budget));
+            let tuned = TunedSchedules::new(search_database(&graph, &platform.gpu, &budget));
             let records = tuned.to_records();
             let placed = place(&graph, policy);
             let report = estimate_latency(&placed, &platform, &tuned, &opts);
@@ -361,7 +381,8 @@ impl Engine {
                     key.device,
                     self.budget.trials_per_workload
                 );
-                let tuned = TunedSchedules::new(tune_graph(&g, &self.platform.gpu, &self.budget));
+                let tuned =
+                    TunedSchedules::new(search_database(&g, &self.platform.gpu, &self.budget));
                 let records = tuned.to_records();
                 (Arc::new(tuned), records)
             }

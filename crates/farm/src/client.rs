@@ -1,0 +1,100 @@
+//! The farm-side [`Dispatcher`]: `tune_graph_with` plugs this in to run
+//! tensor-level search on a remote tracker's worker pool instead of
+//! in-process. Submit the whole batch, poll until done, return the outcomes
+//! in job order. Because every job is self-seeded by its index, the farm's
+//! databases are bit-identical to the serial dispatcher's at zero noise.
+
+use crate::proto::{read_frame, write_frame, Frame};
+use std::net::TcpStream;
+use std::time::Duration;
+use unigpu_device::DeviceSpec;
+use unigpu_telemetry::{tel_debug, tel_info};
+use unigpu_tuner::{DispatchError, Dispatcher, TuneJob, TuneOutcome, TuningBudget};
+
+/// Client half of the farm protocol; implements [`Dispatcher`].
+#[derive(Debug, Clone)]
+pub struct FarmClient {
+    addr: String,
+    poll: Duration,
+}
+
+impl FarmClient {
+    pub fn new(addr: impl Into<String>) -> Self {
+        FarmClient { addr: addr.into(), poll: Duration::from_millis(50) }
+    }
+
+    /// Override the batch-status poll interval (tests shorten it).
+    pub fn poll_interval(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Dispatcher for FarmClient {
+    fn name(&self) -> String {
+        format!("farm({})", self.addr)
+    }
+
+    fn dispatch(
+        &self,
+        jobs: &[TuneJob],
+        spec: &DeviceSpec,
+        budget: &TuningBudget,
+    ) -> Result<Vec<TuneOutcome>, DispatchError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        let submit =
+            Frame::Submit { device: spec.name.clone(), budget: *budget, jobs: jobs.to_vec() };
+        write_frame(&mut stream, &submit)?;
+        let batch_id = match read_frame(&mut stream)? {
+            Frame::SubmitAck { batch_id } => batch_id,
+            Frame::Error { message } => return Err(DispatchError::Protocol(message)),
+            other => {
+                return Err(DispatchError::Protocol(format!("unexpected submit reply: {other:?}")))
+            }
+        };
+        tel_info!(
+            "farm::client",
+            "batch {batch_id}: {} job(s) submitted to {}",
+            jobs.len(),
+            self.addr
+        );
+        loop {
+            std::thread::sleep(self.poll);
+            write_frame(&mut stream, &Frame::Poll { batch_id })?;
+            match read_frame(&mut stream)? {
+                Frame::Status { total, done, failed, outcomes, failures, .. } => {
+                    tel_debug!(
+                        "farm::client",
+                        "batch {batch_id}: {done} done, {failed} failed of {total}"
+                    );
+                    if done + failed < total {
+                        continue;
+                    }
+                    if failed > 0 {
+                        return Err(DispatchError::JobsFailed {
+                            failed,
+                            first_error: failures
+                                .into_iter()
+                                .next()
+                                .unwrap_or_else(|| "unknown failure".into()),
+                        });
+                    }
+                    let mut outcomes = outcomes;
+                    outcomes.sort_by_key(|o| o.index);
+                    return Ok(outcomes);
+                }
+                Frame::Error { message } => return Err(DispatchError::Protocol(message)),
+                other => {
+                    return Err(DispatchError::Protocol(format!(
+                        "unexpected poll reply: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # unigpu-farm
+//!
+//! A distributed measurement service for the auto-tuner, mirroring
+//! AutoTVM's RPC tracker / measurement-worker architecture. The paper's
+//! schedule search "took up to tens of hours ... for one device" (§3.2.3);
+//! in production TVM amortizes that across a farm of devices. This crate
+//! reproduces the coordination layer over plain TCP with length-prefixed
+//! JSON frames — std networking only:
+//!
+//! * [`tracker`] — the coordination service: registers workers, leases
+//!   jobs with deadlines and heartbeats, re-queues leases on worker death
+//!   or timeout with bounded retries, accumulates per-batch results.
+//! * [`worker`] — serves one simulated [`DeviceSpec`], running leased jobs
+//!   through `unigpu_tuner::tune_one` (bit-identical to the serial path).
+//! * [`client`] — [`FarmClient`], the `Dispatcher` impl that
+//!   `tune_graph_with` uses to fan a model's workloads out to the farm.
+//! * [`proto`] — the frame format shared by all three.
+//! * [`fault`] — deterministic, counter-based fault injection
+//!   (`UNIGPU_FARM_FAULTS`) for exercising the re-queue machinery.
+//!
+//! [`DeviceSpec`]: unigpu_device::DeviceSpec
+
+pub mod client;
+pub mod fault;
+pub mod proto;
+pub mod tracker;
+pub mod worker;
+
+pub use client::FarmClient;
+pub use fault::{FaultPlan, FaultState, SendFault};
+pub use proto::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
+pub use tracker::{Tracker, TrackerConfig, TrackerHandle, LANE_FARM_WORKER_BASE};
+pub use worker::{run_worker, WorkerConfig, WorkerExit};

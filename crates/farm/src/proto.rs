@@ -1,0 +1,169 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is a 4-byte big-endian length followed by one JSON-encoded
+//! [`Frame`]. JSON keeps the frames greppable in packet dumps and reuses the
+//! serde derives the tuning records already carry; the length prefix makes
+//! framing trivial and lets the tracker reject oversized bodies before
+//! allocating. A frame that fails to parse is a protocol error: the
+//! connection is dropped, the tracker survives.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use unigpu_tuner::{TuneJob, TuneOutcome, TuningBudget};
+
+/// Upper bound on one frame body. Generous — a `Submit` for every conv in a
+/// large CNN is a few hundred KiB — but small enough that a corrupt length
+/// prefix cannot drive a multi-GiB allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Every message of the farm protocol.
+///
+/// Worker → tracker: `Register`, `RequestJob`, `Heartbeat`, `Result`.
+/// Client → tracker: `Submit`, `Poll`.
+/// Tracker → either: the matching `*Ack`, `Lease`, `NoWork`, `Status`,
+/// `Error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Frame {
+    /// A worker joins, naming itself and the device it simulates.
+    Register { name: String, device: String },
+    /// Registration reply: the worker's id and the lease duration it must
+    /// heartbeat within.
+    RegisterAck { worker_id: u64, lease_ms: u64 },
+    /// A registered worker asks for work.
+    RequestJob { worker_id: u64 },
+    /// One job leased to one worker, with the batch's budget attached so the
+    /// worker needs no side channel.
+    Lease {
+        lease_id: u64,
+        batch_id: u64,
+        budget: TuningBudget,
+        job: TuneJob,
+    },
+    /// Nothing queued for this worker's device right now.
+    NoWork,
+    /// Keep a lease alive while its job is still tuning.
+    Heartbeat { worker_id: u64, lease_id: u64 },
+    /// `known == false` means the lease already expired or was never granted
+    /// — the worker's result will be treated as late.
+    HeartbeatAck { known: bool },
+    /// A finished job. Boxed: the outcome dwarfs every other variant.
+    Result {
+        worker_id: u64,
+        lease_id: u64,
+        batch_id: u64,
+        outcome: Box<TuneOutcome>,
+    },
+    /// Result reply; `duplicate` when this job's outcome was already
+    /// recorded (retransmission or a re-queued copy finishing twice).
+    ResultAck { duplicate: bool },
+    /// A client submits a batch of jobs for one device.
+    Submit {
+        device: String,
+        budget: TuningBudget,
+        jobs: Vec<TuneJob>,
+    },
+    SubmitAck { batch_id: u64 },
+    /// A client asks how its batch is doing.
+    Poll { batch_id: u64 },
+    /// Batch progress. `outcomes` is only populated on the completing poll
+    /// (when `done + failed == total`), after which the batch is forgotten.
+    Status {
+        batch_id: u64,
+        total: usize,
+        done: usize,
+        failed: usize,
+        outcomes: Vec<TuneOutcome>,
+        failures: Vec<String>,
+    },
+    /// Protocol-level failure; the sender closes the connection after this.
+    Error { message: String },
+}
+
+/// Serialize `frame` as one length-prefixed JSON message.
+pub fn write_frame(w: &mut dyn Write, frame: &Frame) -> io::Result<()> {
+    let body = serde_json::to_vec(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds MAX_FRAME_BYTES", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame. A clean peer close surfaces as `UnexpectedEof`; an
+/// oversized length prefix or unparseable body surfaces as `InvalidData`
+/// (the caller should answer with [`Frame::Error`] and drop the connection).
+pub fn read_frame(r: &mut dyn Read) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix of {len} bytes exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Register { name: "w0".into(), device: "Intel HD Graphics 505".into() },
+            Frame::RegisterAck { worker_id: 7, lease_ms: 10_000 },
+            Frame::RequestJob { worker_id: 7 },
+            Frame::NoWork,
+            Frame::Heartbeat { worker_id: 7, lease_id: 3 },
+            Frame::HeartbeatAck { known: true },
+            Frame::ResultAck { duplicate: false },
+            Frame::SubmitAck { batch_id: 1 },
+            Frame::Poll { batch_id: 1 },
+            Frame::Error { message: "nope".into() },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cur).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_eof_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::NoWork).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_json_is_invalid_data() {
+        let body = b"{ not json";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,255 @@
+//! A farm worker: owns one simulated device and runs leased tuning jobs.
+//!
+//! The loop is deliberately simple — request a job, tune it with
+//! [`tune_one`] (the exact serial-pipeline body, so results are
+//! bit-identical), send the result, repeat. While a job is tuning, a scoped
+//! heartbeat thread keeps the lease alive; heartbeat failures are tolerated
+//! because the tracker's re-queue path covers a lapsed lease anyway.
+//!
+//! Transport failures trigger a bounded reconnect (a fresh registration —
+//! the tracker releases the old connection's leases on disconnect). Fault
+//! injection ([`FaultState`]) lives worker-side and survives reconnects, so
+//! a `kill_after_leases` budget cannot be reset by a dropped frame.
+
+use crate::fault::{FaultPlan, FaultState, SendFault};
+use crate::proto::{read_frame, write_frame, Frame};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+use unigpu_device::DeviceSpec;
+use unigpu_telemetry::{tel_debug, tel_info, tel_warn};
+use unigpu_tuner::{tune_one, TuneJob, TuneOutcome, TuningBudget};
+
+/// How often the heartbeat thread checks whether tuning has finished.
+const HEARTBEAT_TICK: Duration = Duration::from_millis(20);
+
+/// Worker behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Display name reported to the tracker.
+    pub name: String,
+    /// Idle poll interval when the tracker has no work.
+    pub poll: Duration,
+    /// Exit cleanly after this many consecutive empty polls (`None` = serve
+    /// forever; tests and the CI smoke test set a bound).
+    pub max_idle_polls: Option<usize>,
+    /// Reconnect attempts after a transport failure before giving up.
+    pub reconnects: usize,
+    /// Deterministic fault injection (`UNIGPU_FARM_FAULTS`).
+    pub faults: FaultPlan,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            name: "worker".into(),
+            poll: Duration::from_millis(25),
+            max_idle_polls: None,
+            reconnects: 5,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Why a worker's loop ended without a transport error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Hit `max_idle_polls` consecutive empty polls.
+    Idle,
+    /// Fault injection spent its `kill_after_leases` budget mid-lease.
+    Killed,
+}
+
+struct Conn {
+    stream: TcpStream,
+    faults: FaultState,
+}
+
+impl Conn {
+    /// One request/response exchange. The caller holds the connection lock
+    /// for the whole exchange, so replies cannot interleave between the
+    /// main loop and the heartbeat thread.
+    fn rpc(&mut self, frame: &Frame) -> io::Result<Frame> {
+        match self.faults.on_send() {
+            SendFault::Drop => {
+                tel_warn!("farm::worker", "fault injection: dropping outgoing frame");
+                // No write: the read below times out and the session ends.
+            }
+            SendFault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                write_frame(&mut self.stream, frame)?;
+            }
+            SendFault::None => write_frame(&mut self.stream, frame)?,
+        }
+        read_frame(&mut self.stream)
+    }
+}
+
+fn lock(conn: &Mutex<Conn>) -> MutexGuard<'_, Conn> {
+    conn.lock().expect("worker connection poisoned")
+}
+
+/// Serve `tracker` with one simulated device until told to die (fault
+/// injection), idled out (`max_idle_polls`), or out of reconnect attempts.
+pub fn run_worker(tracker: &str, spec: DeviceSpec, cfg: WorkerConfig) -> io::Result<WorkerExit> {
+    let mut faults = FaultState::new(cfg.faults);
+    let mut attempts_left = cfg.reconnects;
+    loop {
+        match run_session(tracker, &spec, &cfg, &mut faults) {
+            Ok(exit) => return Ok(exit),
+            Err(e) => {
+                if attempts_left == 0 {
+                    tel_warn!(
+                        "farm::worker",
+                        "{}: giving up after {} reconnect attempt(s): {e}",
+                        cfg.name,
+                        cfg.reconnects
+                    );
+                    return Err(e);
+                }
+                attempts_left -= 1;
+                tel_info!(
+                    "farm::worker",
+                    "{}: transport error ({e}); reconnecting to {tracker} ({attempts_left} attempt(s) left)",
+                    cfg.name
+                );
+                std::thread::sleep(cfg.poll);
+            }
+        }
+    }
+}
+
+/// One connection's lifetime: register, serve, and on any error copy the
+/// fault counters back out so the next session continues where it left off.
+fn run_session(
+    tracker: &str,
+    spec: &DeviceSpec,
+    cfg: &WorkerConfig,
+    faults: &mut FaultState,
+) -> io::Result<WorkerExit> {
+    let stream = TcpStream::connect(tracker)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut conn0 = Conn { stream, faults: *faults };
+    let register = Frame::Register { name: cfg.name.clone(), device: spec.name.clone() };
+    let (worker_id, lease_ms) = match conn0.rpc(&register) {
+        Ok(Frame::RegisterAck { worker_id, lease_ms }) => (worker_id, lease_ms),
+        Ok(other) => {
+            *faults = conn0.faults;
+            return Err(protocol_error(&other));
+        }
+        Err(e) => {
+            *faults = conn0.faults;
+            return Err(e);
+        }
+    };
+    tel_info!(
+        "farm::worker",
+        "{}: registered as worker {worker_id} for {} at {tracker}",
+        cfg.name,
+        spec.name
+    );
+    let conn = Mutex::new(conn0);
+    let result = session_loop(&conn, worker_id, lease_ms, spec, cfg);
+    *faults = conn.into_inner().expect("worker connection poisoned").faults;
+    result
+}
+
+fn session_loop(
+    conn: &Mutex<Conn>,
+    worker_id: u64,
+    lease_ms: u64,
+    spec: &DeviceSpec,
+    cfg: &WorkerConfig,
+) -> io::Result<WorkerExit> {
+    let mut idle = 0usize;
+    loop {
+        let reply = lock(conn).rpc(&Frame::RequestJob { worker_id })?;
+        match reply {
+            Frame::Lease { lease_id, batch_id, budget, job } => {
+                idle = 0;
+                if lock(conn).faults.lease_started() {
+                    tel_warn!(
+                        "farm::worker",
+                        "{}: fault injection: dying mid-lease {lease_id}",
+                        cfg.name
+                    );
+                    return Ok(WorkerExit::Killed);
+                }
+                tel_debug!(
+                    "farm::worker",
+                    "{}: lease {lease_id}: tuning job {} ({})",
+                    cfg.name,
+                    job.index,
+                    job.workload.key()
+                );
+                let outcome = tune_leased(conn, worker_id, lease_id, &job, spec, &budget, lease_ms);
+                let result = Frame::Result { worker_id, lease_id, batch_id, outcome: Box::new(outcome) };
+                match lock(conn).rpc(&result)? {
+                    Frame::ResultAck { duplicate } => {
+                        if duplicate {
+                            tel_debug!(
+                                "farm::worker",
+                                "{}: lease {lease_id}: result was a duplicate",
+                                cfg.name
+                            );
+                        }
+                    }
+                    other => return Err(protocol_error(&other)),
+                }
+            }
+            Frame::NoWork => {
+                idle += 1;
+                if let Some(max) = cfg.max_idle_polls {
+                    if idle >= max {
+                        tel_info!("farm::worker", "{}: idle for {idle} poll(s), exiting", cfg.name);
+                        return Ok(WorkerExit::Idle);
+                    }
+                }
+                std::thread::sleep(cfg.poll);
+            }
+            Frame::Error { message } => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, message));
+            }
+            other => return Err(protocol_error(&other)),
+        }
+    }
+}
+
+/// Run [`tune_one`] while a scoped sibling thread heartbeats the lease at a
+/// third of its duration. Heartbeat send errors are swallowed: the worst
+/// case is a lease expiry, which the tracker's re-queue path already covers.
+fn tune_leased(
+    conn: &Mutex<Conn>,
+    worker_id: u64,
+    lease_id: u64,
+    job: &TuneJob,
+    spec: &DeviceSpec,
+    budget: &TuningBudget,
+    lease_ms: u64,
+) -> TuneOutcome {
+    let stop = AtomicBool::new(false);
+    let interval = Duration::from_millis((lease_ms / 3).max(20));
+    std::thread::scope(|s| {
+        s.spawn(|| loop {
+            let mut waited = Duration::ZERO;
+            while waited < interval {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(HEARTBEAT_TICK);
+                waited += HEARTBEAT_TICK;
+            }
+            let _ = lock(conn).rpc(&Frame::Heartbeat { worker_id, lease_id });
+        });
+        let outcome = tune_one(job, spec, budget);
+        stop.store(true, Ordering::Relaxed);
+        outcome
+    })
+}
+
+fn protocol_error(frame: &Frame) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected reply: {frame:?}"))
+}

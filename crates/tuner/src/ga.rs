@@ -82,6 +82,12 @@ impl Tuner for GaTuner {
     ) -> TuneResult {
         let radix = space.radix();
         let mut history: Vec<(usize, f64)> = Vec::with_capacity(budget);
+        // Zero budget (or an empty space) measures nothing; `finish` then
+        // returns the documented default-schedule fallback, matching the
+        // other tuners, instead of panicking on an empty history.
+        if budget == 0 || space.is_empty() {
+            return crate::tuners::finish(history, space, 0);
+        }
         // initial population
         let mut population: Vec<(usize, f64)> = Vec::new();
         let init = self.population.min(budget);
@@ -109,12 +115,8 @@ impl Tuner for GaTuner {
             }
             population = next;
         }
-        let &(best_idx, best_cost) = history
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
         let trials = history.len();
-        TuneResult { best_config: space.get(best_idx), best_cost_ms: best_cost, trials, history }
+        crate::tuners::finish(history, space, trials)
     }
 }
 
@@ -160,6 +162,18 @@ mod tests {
         let mut m2 = SimMeasurer::new(DeviceSpec::mali_t860(), 0.0, 22);
         let rnd = RandomTuner::new(22).tune(&w, &space, &mut m2, 96);
         assert!(ga.best_cost_ms <= rnd.best_cost_ms * 1.25, "{} vs {}", ga.best_cost_ms, rnd.best_cost_ms);
+    }
+
+    #[test]
+    fn zero_budget_returns_fallback_instead_of_panicking() {
+        let (w, space) = setup();
+        let mut m = SimMeasurer::new(DeviceSpec::mali_t860(), 0.0, 3);
+        let r = GaTuner::new(3).tune(&w, &space, &mut m, 0);
+        assert_eq!(r.trials, 0);
+        assert!(r.history.is_empty());
+        assert_eq!(r.best_config, ConvConfig::default_schedule());
+        assert!(r.best_cost_ms.is_infinite(), "fallback is ranked worst, not measured");
+        assert_eq!(m.trials, 0, "no measurements spent");
     }
 
     #[test]

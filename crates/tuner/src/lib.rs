@@ -17,12 +17,17 @@
 //! * [`graph_tuner`] — the graph-level layout tuner: dynamic programming
 //!   over per-layer schedule candidates weighing kernel gains against data
 //!   layout transformation overheads.
+//! * [`dispatch`] — how the pipeline fans search out: one [`TuneJob`] per
+//!   distinct workload through a [`Dispatcher`] (serial loop, local thread
+//!   pool, or the `unigpu-farm` tracker/worker service), all bit-identical
+//!   at zero measurement noise.
 //! * [`pipeline`] — end-to-end: extract a model's conv workloads, tune each,
 //!   produce a [`records::Database`] whose `TunedSchedules` plugs into the
 //!   graph latency estimator.
 //!
 //! [`ConfigSpace`]: unigpu_ops::conv::ConfigSpace
 
+pub mod dispatch;
 pub mod features;
 pub mod ga;
 pub mod gbt;
@@ -32,10 +37,15 @@ pub mod pipeline;
 pub mod records;
 pub mod tuners;
 
+pub use dispatch::{
+    tune_one, Candidate, DispatchError, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
+    TuneJob, TuneOutcome,
+};
 pub use measure::{Measurer, SimMeasurer};
 pub use pipeline::{
-    convergence_log_dir, tune_graph, write_convergence_log, TunedSchedules, TuningBudget,
+    convergence_log_dir, tune_graph, tune_graph_with, write_convergence_log, TunedSchedules,
+    TuningBudget,
 };
-pub use records::{Database, LoadRecovery, TuneRecord};
+pub use records::{db_dir, device_db_path, device_slug, Database, LoadRecovery, TuneRecord};
 pub use ga::GaTuner;
 pub use tuners::{GridTuner, ModelBasedTuner, RandomTuner, SaTuner, TuneResult, Tuner};

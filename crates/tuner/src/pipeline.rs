@@ -2,20 +2,21 @@
 //! followed by graph-level layout selection (GraphTuner), producing the
 //! tuning database consumed by the latency estimator.
 
+use crate::dispatch::{DispatchError, Dispatcher, SerialDispatcher, TuneJob};
 use crate::graph_tuner::{optimize_chain, ChainLayer, LayerCandidate};
-use crate::measure::SimMeasurer;
-use crate::records::{Database, TuneRecord};
-use crate::tuners::{ModelBasedTuner, Tuner};
-use std::collections::HashMap;
+use crate::records::{db_dir, Database, TuneRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use unigpu_device::DeviceSpec;
 use unigpu_graph::{Graph, OpKind, ScheduleProvider};
-use unigpu_ops::conv::{ConfigSpace, ConvConfig};
+use unigpu_ops::conv::ConvConfig;
 use unigpu_ops::ConvWorkload;
-use unigpu_telemetry::{tel_debug, tel_warn};
+use unigpu_telemetry::{tel_debug, tel_info};
 
-/// Tuning effort knobs.
-#[derive(Debug, Clone, Copy)]
+/// Tuning effort knobs. Serializable because the farm protocol ships the
+/// budget to remote workers alongside each job batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TuningBudget {
     /// Measurements per distinct convolution workload.
     pub trials_per_workload: usize,
@@ -48,14 +49,11 @@ pub fn conv_workloads(g: &Graph) -> Vec<ConvWorkload> {
 /// folder inside the tuning cache dir (`UNIGPU_DB_DIR`, defaulting to
 /// `target/tuning` like the bench harness's database cache).
 pub fn convergence_log_dir() -> PathBuf {
-    let dir = std::env::var("UNIGPU_DB_DIR").unwrap_or_else(|_| "target/tuning".into());
-    PathBuf::from(dir).join("convergence")
+    db_dir().join("convergence")
 }
 
 fn slug(s: &str) -> String {
-    s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-        .collect()
+    crate::records::device_slug(s)
 }
 
 /// Write a per-trial convergence log (JSONL, mirroring AutoTVM's tuning
@@ -90,66 +88,92 @@ pub fn write_convergence_log(
     Ok(path)
 }
 
-/// Tune every convolution workload of `graph` for `spec`.
+/// Tune every convolution workload of `graph` for `spec`, serially and
+/// in-process — the original pipeline. See [`tune_graph_with`] for the
+/// dispatcher-parameterized form this delegates to.
+pub fn tune_graph(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Database {
+    tune_graph_with(graph, spec, budget, &SerialDispatcher, None)
+        .expect("serial dispatch is infallible")
+}
+
+/// Tune every convolution workload of `graph` for `spec` through a
+/// [`Dispatcher`].
 ///
 /// Returns the database of best-found schedules. Tensor-level search runs
 /// once per *distinct* workload (the database's whole point); the graph
 /// tuner then re-selects among each layer's top candidates to minimize
 /// kernel + layout-transform cost over the model's conv chain.
-pub fn tune_graph(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Database {
+///
+/// `prior` supports `--resume`: workloads the prior database already covers
+/// are not re-dispatched — their record is reused directly (and stands in as
+/// the sole layer candidate for the graph DP). Job indices still count all
+/// distinct workloads, so a resumed run's seeds match an uninterrupted one.
+pub fn tune_graph_with(
+    graph: &Graph,
+    spec: &DeviceSpec,
+    budget: &TuningBudget,
+    dispatcher: &dyn Dispatcher,
+    prior: Option<&Database>,
+) -> Result<Database, DispatchError> {
     let chain_wls = conv_workloads(graph);
     let mut db = Database::new();
     // per distinct workload: (top candidates sorted by cost)
     let mut candidates: HashMap<String, Vec<LayerCandidate>> = HashMap::new();
 
+    // HashSet-keyed dedup: large models repeat blocks, and an O(n²) scan
+    // over key strings pays quadratically on ResNet-50-sized graphs.
+    let mut seen: HashSet<String> = HashSet::with_capacity(chain_wls.len());
     let mut distinct: Vec<ConvWorkload> = Vec::new();
     for w in &chain_wls {
-        if !distinct.iter().any(|d| d.key() == w.key()) {
+        if seen.insert(w.key()) {
             distinct.push(*w);
         }
     }
 
+    let mut jobs: Vec<TuneJob> = Vec::new();
+    let mut resumed = 0usize;
     for (i, w) in distinct.iter().enumerate() {
-        let space = ConfigSpace::build(w, spec);
-        let mut measurer = SimMeasurer::new(spec.clone(), budget.noise, budget.seed ^ (i as u64));
-        let mut tuner = ModelBasedTuner::new(budget.seed.wrapping_add(i as u64));
-        let result = tuner.tune(w, &space, &mut measurer, budget.trials_per_workload);
+        match prior.and_then(|p| p.lookup(&spec.name, w)) {
+            Some(rec) => {
+                resumed += 1;
+                candidates.insert(
+                    w.key(),
+                    vec![LayerCandidate { config: rec.config, kernel_ms: rec.cost_ms }],
+                );
+                db.insert(rec.clone());
+            }
+            None => jobs.push(TuneJob { index: i, workload: *w }),
+        }
+    }
+    if resumed > 0 {
+        tel_info!(
+            "tuner::pipeline",
+            "resuming: {} of {} workload(s) already tuned for {}",
+            resumed,
+            distinct.len(),
+            spec.name
+        );
+    }
+
+    if !jobs.is_empty() {
         tel_debug!(
             "tuner::pipeline",
-            "workload {} on {}: best {:.4} ms after {} trials",
-            w.key(),
+            "dispatching {} workload(s) for {} via {}",
+            jobs.len(),
             spec.name,
-            result.best_cost_ms,
-            result.trials
+            dispatcher.name()
         );
-        match write_convergence_log(&spec.name, &w.key(), &result.history) {
-            Ok(path) => {
-                tel_debug!("tuner::pipeline", "convergence log: {}", path.display());
-            }
-            Err(e) => tel_warn!("tuner::pipeline", "failed to write convergence log: {e}"),
+        for outcome in dispatcher.dispatch(&jobs, spec, budget)? {
+            candidates.insert(
+                outcome.record.workload.clone(),
+                outcome
+                    .candidates
+                    .iter()
+                    .map(|c| LayerCandidate { config: c.config, kernel_ms: c.kernel_ms })
+                    .collect(),
+            );
+            db.insert(outcome.record);
         }
-
-        // top-k distinct configs by true (noise-free) cost
-        let mut hist = result.history.clone();
-        hist.sort_by(|a, b| a.1.total_cmp(&b.1));
-        hist.dedup_by_key(|h| h.0);
-        let top: Vec<LayerCandidate> = hist
-            .iter()
-            .take(budget.graph_candidates.max(1))
-            .map(|&(idx, _)| {
-                let config = space.get(idx);
-                LayerCandidate { config, kernel_ms: measurer.true_cost(w, &config) }
-            })
-            .collect();
-        candidates.insert(w.key(), top.clone());
-
-        db.insert(TuneRecord {
-            device: spec.name.clone(),
-            workload: w.key(),
-            config: result.best_config,
-            cost_ms: measurer.true_cost(w, &result.best_config),
-            trials: result.trials,
-        });
     }
 
     // ---- graph-level layout DP over the conv chain ----
@@ -184,7 +208,7 @@ pub fn tune_graph(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> Da
             }
         }
     }
-    db
+    Ok(db)
 }
 
 /// [`ScheduleProvider`] backed by a tuning database, with fallback for
@@ -342,6 +366,72 @@ mod tests {
         for w in conv_workloads(&g) {
             assert_eq!(back.conv_config(&w, &spec), tuned.conv_config(&w, &spec));
         }
+    }
+
+    #[test]
+    fn thread_pool_database_matches_serial() {
+        let g = conv_chain_graph();
+        let spec = unigpu_device::DeviceSpec::intel_hd505();
+        let budget = TuningBudget { trials_per_workload: 32, ..Default::default() };
+        let serial = tune_graph(&g, &spec, &budget);
+        let pooled = tune_graph_with(
+            &g,
+            &spec,
+            &budget,
+            &crate::dispatch::ThreadPoolDispatcher::new(4),
+            None,
+        )
+        .unwrap();
+        assert_eq!(serial.records(), pooled.records(), "noise=0 ⇒ bit-identical databases");
+    }
+
+    #[test]
+    fn resume_skips_prior_workloads_and_still_covers_the_graph() {
+        let g = conv_chain_graph();
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let budget = TuningBudget { trials_per_workload: 32, ..Default::default() };
+        let full = tune_graph(&g, &spec, &budget);
+
+        let wls = conv_workloads(&g);
+        let mut prior = Database::new();
+        prior.insert(full.lookup(&spec.name, &wls[0]).unwrap().clone());
+
+        let resumed =
+            tune_graph_with(&g, &spec, &budget, &SerialDispatcher, Some(&prior)).unwrap();
+        assert_eq!(resumed.len(), full.len());
+        for w in &wls {
+            assert!(resumed.lookup(&spec.name, w).is_some(), "missing {w}");
+        }
+        // the resumed workload keeps the prior schedule (it was never re-searched)
+        assert_eq!(
+            resumed.lookup(&spec.name, &wls[0]).unwrap().config,
+            prior.lookup(&spec.name, &wls[0]).unwrap().config
+        );
+    }
+
+    #[test]
+    fn fully_resumed_run_dispatches_nothing() {
+        let g = conv_chain_graph();
+        let spec = unigpu_device::DeviceSpec::mali_t860();
+        let budget = TuningBudget { trials_per_workload: 24, ..Default::default() };
+        let full = tune_graph(&g, &spec, &budget);
+
+        struct NoDispatch;
+        impl crate::dispatch::Dispatcher for NoDispatch {
+            fn name(&self) -> String {
+                "refuses".into()
+            }
+            fn dispatch(
+                &self,
+                jobs: &[crate::dispatch::TuneJob],
+                _spec: &unigpu_device::DeviceSpec,
+                _budget: &TuningBudget,
+            ) -> Result<Vec<crate::dispatch::TuneOutcome>, crate::dispatch::DispatchError> {
+                panic!("dispatched {} job(s) on a fully resumed run", jobs.len());
+            }
+        }
+        let resumed = tune_graph_with(&g, &spec, &budget, &NoDispatch, Some(&full)).unwrap();
+        assert_eq!(resumed.len(), full.len());
     }
 
     #[test]

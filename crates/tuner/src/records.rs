@@ -8,8 +8,31 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use unigpu_ops::conv::ConvConfig;
 use unigpu_ops::ConvWorkload;
+
+/// The tuning cache directory: `UNIGPU_DB_DIR`, defaulting to
+/// `target/tuning`. Shared by the bench harness's database cache, the
+/// convergence logs, and `unigpu tune --resume`.
+pub fn db_dir() -> PathBuf {
+    let dir = std::env::var("UNIGPU_DB_DIR").unwrap_or_else(|_| "target/tuning".into());
+    PathBuf::from(dir)
+}
+
+/// Filesystem-safe slug of a device name (`Intel HD Graphics 505` →
+/// `intel_hd_graphics_505`).
+pub fn device_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// Canonical on-disk database path for a device, under [`db_dir`] — the
+/// file `unigpu tune --resume` consults and the bench harness caches to.
+pub fn device_db_path(device: &str) -> PathBuf {
+    db_dir().join(format!("{}.jsonl", device_slug(device)))
+}
 
 /// One tuning outcome: the best schedule found for a workload on a device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -35,12 +35,27 @@ pub trait Tuner {
     ) -> TuneResult;
 }
 
-fn finish(history: Vec<(usize, f64)>, space: &ConfigSpace, trials: usize) -> TuneResult {
-    let &(best_idx, best_cost) = history
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("at least one trial");
-    TuneResult { best_config: space.get(best_idx), best_cost_ms: best_cost, trials, history }
+/// Fold a measurement history into a [`TuneResult`].
+///
+/// An empty history (zero budget, or an exhausted/empty config space) is not
+/// an error: every tuner falls back to [`ConvConfig::default_schedule`] with
+/// an infinite cost, so callers can rank it honestly against real results
+/// instead of panicking mid-search.
+pub(crate) fn finish(history: Vec<(usize, f64)>, space: &ConfigSpace, trials: usize) -> TuneResult {
+    match history.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+        Some(&(best_idx, best_cost)) => TuneResult {
+            best_config: space.get(best_idx),
+            best_cost_ms: best_cost,
+            trials,
+            history,
+        },
+        None => TuneResult {
+            best_config: ConvConfig::default_schedule(),
+            best_cost_ms: f64::INFINITY,
+            trials: 0,
+            history,
+        },
+    }
 }
 
 /// Uniform random search.

@@ -75,4 +75,54 @@ fi
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
+
+echo "==> farm loopback smoke test"
+# Tracker + two workers on an ephemeral loopback port; a farm-dispatched
+# tune must complete and write a populated database.
+farm_tmp=$(mktemp -d)
+tracker_pid=""
+worker1_pid=""
+worker2_pid=""
+cleanup_farm() {
+  for p in "$tracker_pid" "$worker1_pid" "$worker2_pid"; do
+    if [ -n "$p" ]; then
+      kill "$p" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$farm_tmp"
+}
+trap cleanup_farm EXIT
+./target/release/unigpu farm tracker --listen 127.0.0.1:0 \
+  --port-file "$farm_tmp/addr" > "$farm_tmp/tracker.log" 2>&1 &
+tracker_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$farm_tmp/addr" ] && break
+  sleep 0.1
+done
+if [ ! -s "$farm_tmp/addr" ]; then
+  echo "error: tracker never wrote its port file"
+  cat "$farm_tmp/tracker.log" || true
+  exit 1
+fi
+addr=$(cat "$farm_tmp/addr")
+./target/release/unigpu farm worker --tracker "$addr" --device deeplens --name ci-w1 \
+  > "$farm_tmp/w1.log" 2>&1 &
+worker1_pid=$!
+./target/release/unigpu farm worker --tracker "$addr" --device deeplens --name ci-w2 \
+  > "$farm_tmp/w2.log" 2>&1 &
+worker2_pid=$!
+UNIGPU_DB_DIR="$farm_tmp/db" ./target/release/unigpu tune SqueezeNet1.0 \
+  --platform deeplens --trials 8 --farm "$addr" --out "$farm_tmp/farm.jsonl"
+if [ ! -s "$farm_tmp/farm.jsonl" ]; then
+  echo "error: farm tune produced no database"
+  exit 1
+fi
+if ! grep -q '"workload"' "$farm_tmp/farm.jsonl"; then
+  echo "error: farm database contains no records"
+  exit 1
+fi
+echo "farm smoke test: $(wc -l < "$farm_tmp/farm.jsonl") record line(s) tuned via $addr"
+cleanup_farm
+trap - EXIT
+
 echo "ci: all gates passed"

@@ -6,6 +6,7 @@ pub use unigpu_ir as ir;
 pub use unigpu_ops as ops;
 pub use unigpu_graph as graph;
 pub use unigpu_tuner as tuner;
+pub use unigpu_farm as farm;
 pub use unigpu_engine as engine;
 pub use unigpu_models as models;
 pub use unigpu_baselines as baselines;

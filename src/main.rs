@@ -9,10 +9,15 @@
 //! unigpu serve ResNet50_v1 --platform nano --requests 64 --concurrency 4 --batch 8
 //! unigpu profile MobileNet1.0 --device intel --trace trace.json
 //! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
+//! unigpu tune SqueezeNet1.0 --jobs 4 --resume
+//! unigpu farm tracker --listen 127.0.0.1:9190
+//! unigpu farm worker --tracker 127.0.0.1:9190 --device deeplens
+//! unigpu tune SqueezeNet1.0 --farm 127.0.0.1:9190
 //! unigpu codegen --target cuda
 //! unigpu dot MobileNet1.0 > mobilenet.dot
 //! ```
 
+use std::path::PathBuf;
 use std::time::Duration;
 use unigpu::baselines::baseline_for;
 use unigpu::device::Platform;
@@ -25,8 +30,12 @@ use unigpu::ir::{lower, LoopTag, Schedule};
 use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
+use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
 use unigpu::telemetry::{tel_error, ChromeTrace, MetricsRegistry, SpanRecorder};
-use unigpu::tuner::{tune_graph, TuningBudget};
+use unigpu::tuner::{
+    device_db_path, tune_graph_with, Database, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
+    TuningBudget,
+};
 use unigpu::Engine;
 
 /// A user-facing CLI failure: printed through `tel_error!` and mapped to
@@ -284,14 +293,70 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `unigpu tune <model> [--jobs N | --farm ADDR] [--resume]` —
+/// tensor-level schedule search through a dispatcher: in-process serial
+/// (default), a local thread pool, or a remote tuning farm. All three
+/// produce bit-identical databases at zero measurement noise. `--resume`
+/// skips workloads already present in the on-disk database under
+/// `UNIGPU_DB_DIR` and folds new results back into it.
 fn cmd_tune(args: &[String]) -> Result<(), CliError> {
-    let name = args.first().map(String::as_str).unwrap_or("SqueezeNet1.0");
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("SqueezeNet1.0");
     let platform = platform_by_name(opt(args, "--platform").unwrap_or("deeplens"))?;
     let trials = opt(args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(96);
     let g = model_by_name(name, &platform)?;
     let budget = TuningBudget { trials_per_workload: trials, ..Default::default() };
-    let db = tune_graph(&g, &platform.gpu, &budget);
+
+    let jobs: Option<usize> = opt(args, "--jobs").and_then(|s| s.parse().ok());
+    let dispatcher: Box<dyn Dispatcher> = match (opt(args, "--farm"), jobs) {
+        (Some(addr), _) => Box::new(FarmClient::new(addr)),
+        (None, Some(n)) => Box::new(ThreadPoolDispatcher::new(n)),
+        (None, None) => Box::new(SerialDispatcher),
+    };
+
+    let resume_path = device_db_path(&platform.gpu.name);
+    let prior = if flag(args, "--resume") {
+        let (db, recovery) = Database::load_recovering(&resume_path);
+        eprintln!(
+            "[resume] {} prior record(s) from {}{}",
+            db.len(),
+            resume_path.display(),
+            if recovery.skipped > 0 {
+                format!(" ({} corrupt line(s) skipped)", recovery.skipped)
+            } else {
+                String::new()
+            }
+        );
+        Some(db)
+    } else {
+        None
+    };
+
+    eprintln!("[tune] dispatching via {} ({trials} trials/workload)", dispatcher.name());
+    let db = tune_graph_with(&g, &platform.gpu, &budget, dispatcher.as_ref(), prior.as_ref())
+        .map_err(|e| CliError(format!("tuning dispatch failed: {e}")))?;
     println!("tuned {} workloads on {}", db.len(), platform.gpu.name);
+
+    if flag(args, "--resume") {
+        // Fold the run's results back into the on-disk cache (best per
+        // workload wins) so the next --resume skips what was done here.
+        let (mut on_disk, _) = Database::load_recovering(&resume_path);
+        for rec in db.records() {
+            on_disk.insert(rec);
+        }
+        if let Some(dir) = resume_path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError(format!("failed to create {}: {e}", dir.display())))?;
+        }
+        on_disk
+            .save(&resume_path)
+            .map_err(|e| CliError(format!("failed to update {}: {e}", resume_path.display())))?;
+        eprintln!("[resume] database updated: {}", resume_path.display());
+    }
+
     if let Some(path) = opt(args, "--out") {
         db.save(std::path::Path::new(path))
             .map_err(|e| CliError(format!("failed to write tuning db {path}: {e}")))?;
@@ -300,6 +365,63 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
         println!("{}", db.to_json_lines());
     }
     Ok(())
+}
+
+/// `unigpu farm tracker|worker` — run one half of the distributed tuning
+/// farm. The tracker prints (and optionally writes to `--port-file`) its
+/// bound address and serves until killed; a worker serves one simulated
+/// device, with fault injection read from `UNIGPU_FARM_FAULTS`.
+fn cmd_farm(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("tracker") => {
+            let listen = opt(args, "--listen").unwrap_or("127.0.0.1:0");
+            let mut cfg = TrackerConfig::default();
+            if let Some(ms) = opt(args, "--lease-ms").and_then(|s| s.parse().ok()) {
+                cfg.lease = Duration::from_millis(ms);
+            }
+            if let Some(r) = opt(args, "--retries").and_then(|s| s.parse().ok()) {
+                cfg.max_retries = r;
+            }
+            cfg.trace_path = opt(args, "--trace").map(PathBuf::from);
+            let handle = Tracker::spawn(listen, cfg)
+                .map_err(|e| CliError(format!("failed to bind tracker on {listen}: {e}")))?;
+            println!("tracker listening on {}", handle.addr());
+            if let Some(path) = opt(args, "--port-file") {
+                std::fs::write(path, handle.addr().to_string())
+                    .map_err(|e| CliError(format!("failed to write port file {path}: {e}")))?;
+            }
+            handle.join(); // serves until the process is killed
+            Ok(())
+        }
+        Some("worker") => {
+            let tracker = opt(args, "--tracker")
+                .ok_or_else(|| CliError("farm worker needs --tracker HOST:PORT".into()))?;
+            let device = opt(args, "--device").unwrap_or("deeplens");
+            let platform = platform_by_name(device)?;
+            let cfg = WorkerConfig {
+                name: opt(args, "--name").unwrap_or("worker").to_string(),
+                faults: FaultPlan::from_env(),
+                ..Default::default()
+            };
+            if !cfg.faults.is_noop() {
+                eprintln!("[farm] fault injection active: {:?}", cfg.faults);
+            }
+            println!("worker `{}` serving {} via {tracker}", cfg.name, platform.gpu.name);
+            match run_worker(tracker, platform.gpu.clone(), cfg) {
+                Ok(exit) => {
+                    println!("worker exited: {exit:?}");
+                    Ok(())
+                }
+                Err(e) => Err(CliError(format!("worker transport failure: {e}"))),
+            }
+        }
+        _ => Err(CliError(
+            "usage: unigpu farm tracker [--listen ADDR] [--lease-ms N] [--retries N] \
+             [--port-file F] [--trace out.json]\n       unigpu farm worker --tracker ADDR \
+             [--device deeplens|aisage|nano] [--name N]"
+                .into(),
+        )),
+    }
 }
 
 fn cmd_codegen(args: &[String]) -> Result<(), CliError> {
@@ -345,6 +467,10 @@ fn usage() -> ! {
            profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
                     [--tuned] [--trials N] [--fallback]\n\
            tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
+                    [--jobs N | --farm HOST:PORT] [--resume]\n\
+           farm tracker [--listen ADDR] [--lease-ms N] [--retries N]\n\
+                    [--port-file F] [--trace out.json]\n\
+           farm worker --tracker ADDR [--device deeplens|aisage|nano] [--name N]\n\
            codegen [--target opencl|cuda]\n\
            dot <model>                    emit Graphviz"
     );
@@ -359,6 +485,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("farm") => cmd_farm(&args[1..]),
         Some("codegen") => cmd_codegen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         _ => usage(),
