@@ -1,0 +1,94 @@
+//! Graceful-degradation sweep: shed rate, deadline misses, and degraded
+//! batches versus offered load, under a fixed device-fault plan.
+//!
+//! The serving stack is sized for a capacity; this sweep pushes offered
+//! load from half of capacity to 8× past it with a bounded queue and a
+//! per-request deadline, while the device misbehaves (periodic kernel
+//! failures plus thermal throttling). The interesting shape: completed
+//! requests saturate near capacity while the overflow moves into the
+//! shed/deadline-expired buckets — load shedding degrades *output*, never
+//! correctness, and the accounting column must always balance (0 lost).
+//!
+//! ```text
+//! cargo run --release -p unigpu-bench --bin degradation [MODEL] [PLATFORM]
+//! ```
+
+use std::time::Duration;
+use unigpu_device::{DeviceFaultPlan, Platform, Vendor};
+use unigpu_engine::{uniform_requests, Engine, ServeConfig};
+use unigpu_models::full_zoo;
+use unigpu_telemetry::{MetricsRegistry, SpanRecorder};
+
+const REQUESTS: usize = 96;
+const WORKERS: usize = 2;
+const QUEUE_CAP: usize = 24;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = args.first().map(String::as_str).unwrap_or("MobileNet1.0");
+    let platform = args
+        .get(1)
+        .map(|s| Platform::by_name(s).expect("unknown platform (use deeplens|aisage|nano)"))
+        .unwrap_or_else(Platform::deeplens);
+    let entry = full_zoo()
+        .into_iter()
+        .find(|e| e.name == model)
+        .expect("unknown model; see `unigpu models`");
+    let g = (entry.build)(platform.gpu.vendor == Vendor::Arm);
+
+    let engine = Engine::builder().platform(platform.clone()).build();
+    let compiled = engine.compile(&g);
+    let single = compiled.estimate_batch_ms(1);
+    // capacity interval: one request per worker-slot of single-sample time
+    let capacity_interval = single / WORKERS as f64;
+    let faults = DeviceFaultPlan::parse("kernel_fail_nth=7,throttle_after_ms=200:1.5");
+    let deadline_ms = 12.0 * single;
+
+    println!(
+        "=== degradation sweep — {model} on {} ({REQUESTS} requests, {WORKERS} workers, \
+         queue cap {QUEUE_CAP}, deadline {deadline_ms:.0} ms, faults kernel_fail_nth=7 \
+         + throttle 1.5x after 200 ms) ===",
+        platform.name
+    );
+    println!(
+        "{:>6} {:>9} {:>6} {:>8} {:>8} {:>9} {:>8} {:>14} {:>8}",
+        "load",
+        "completed",
+        "shed",
+        "expired",
+        "retries",
+        "degraded",
+        "trips",
+        "thruput(req/s)",
+        "lost"
+    );
+    for load_factor in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let spans = SpanRecorder::new();
+        let metrics = MetricsRegistry::new();
+        let cfg = ServeConfig {
+            concurrency: WORKERS,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            queue_cap: Some(QUEUE_CAP),
+            deadline_ms: Some(deadline_ms),
+            faults,
+            ..Default::default()
+        };
+        let interval = capacity_interval / load_factor;
+        let requests = uniform_requests(&compiled, REQUESTS, interval);
+        let report = compiled.serve(requests, &cfg, &spans, &metrics);
+        assert_eq!(report.lost(), 0, "every request must be accounted for");
+        println!(
+            "{:>5.1}x {:>9} {:>6} {:>8} {:>8} {:>9} {:>8} {:>14.1} {:>8}",
+            load_factor,
+            report.results.len(),
+            report.shed.len(),
+            report.expired.len(),
+            report.retries,
+            report.degraded_batches,
+            report.breaker_trips,
+            report.throughput_rps(),
+            report.lost()
+        );
+    }
+}

@@ -54,6 +54,7 @@ fn main() {
             concurrency: WORKERS,
             max_batch,
             batch_window: Duration::from_millis(2),
+            ..Default::default()
         };
         // offered load near aggregate capacity so batches actually form
         let requests = uniform_requests(&compiled, REQUESTS, single / WORKERS as f64);

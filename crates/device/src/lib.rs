@@ -28,12 +28,14 @@
 
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod profile;
 pub mod spec;
 pub mod timeline;
 
 pub use cost::CostModel;
 pub use exec::{dispatch_chunks, dispatch_map, group_barrier_loop, parallel_for_each_index, Launch};
+pub use fault::{DeviceFault, DeviceFaultPlan, DeviceFaultState, LaunchOutcome};
 pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec, Platform, Vendor};
 pub use timeline::{MultiTimeline, StreamEvent, Timeline, TraceEntry};

@@ -232,8 +232,25 @@ impl Artifact {
         Ok(Artifact { meta, records })
     }
 
+    /// Persist atomically: write to a sibling temp file, flush it to disk,
+    /// then rename over `path`. A crash mid-write leaves either the old
+    /// artifact or a stray `.tmp` — never a truncated JSONL that readers
+    /// would have to heal from.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_jsonl())
+        use std::io::Write;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".{}.tmp", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_jsonl().as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Strict load; IO and parse failures both surface as the error string,

@@ -264,6 +264,36 @@ mod tests {
     }
 
     #[test]
+    fn persistence_is_atomic_no_temp_files_linger() {
+        let dir = temp_dir("atomic");
+        let mut c = ArtifactCache::with_dir(4, &dir);
+        let k = key("a", 1);
+        // a stray temp file from a crashed writer must not confuse anything
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("stale-crash-leftover.tmp"), "half-written garbage").unwrap();
+        c.put(k.clone(), artifact("a", 1));
+        let path = dir.join(format!("{}.jsonl", k.slug()));
+        assert!(path.exists());
+        // the save itself left no temp file behind (only the stale one)
+        let tmp_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert_eq!(
+            tmp_files,
+            vec!["stale-crash-leftover.tmp".to_string()],
+            "atomic save leaves no temp files of its own"
+        );
+        // the artifact round-trips intact despite the stray temp file
+        let mut fresh = ArtifactCache::with_dir(4, &dir);
+        assert!(fresh.get(&k).is_some());
+        assert_eq!(fresh.stats().corrupt, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mismatched_disk_artifact_is_rejected() {
         let dir = temp_dir("mismatch");
         let mut c = ArtifactCache::with_dir(4, &dir);

@@ -624,6 +624,41 @@ impl CompiledModel {
         estimate_latency(&placed, &self.inner.platform, &batched, &self.inner.opts).total_ms
     }
 
+    /// An all-CPU variant of this model: same optimized graph and schedule
+    /// records, re-placed with [`PlacementPolicy::AllCpu`]. This is the
+    /// graceful-degradation target the serving layer routes batches to when
+    /// the device misbehaves (circuit breaker open, retries exhausted,
+    /// out-of-memory) — slower, but it keeps answering. Built lazily by the
+    /// scheduler, so fault-free serving never pays for it.
+    pub fn degraded(&self) -> CompiledModel {
+        let placed = place(&self.inner.graph, PlacementPolicy::AllCpu);
+        let st = self
+            .inner
+            .schedules
+            .read()
+            .expect("schedule state poisoned");
+        CompiledModel {
+            inner: Arc::new(CompiledInner {
+                key: self.inner.key.clone(),
+                graph: self.inner.graph.clone(),
+                placement: placed,
+                platform: self.inner.platform.clone(),
+                policy: PlacementPolicy::AllCpu,
+                opts: self.inner.opts,
+                schedules: RwLock::new(ScheduleState {
+                    provider: st.provider.clone(),
+                    records: st.records.clone(),
+                    tuned: st.tuned,
+                }),
+                from_cache: self.inner.from_cache,
+                has_vision: self.inner.has_vision,
+                cost_table: self.inner.cost_table.clone(),
+                batch_cost: Mutex::new(HashMap::new()),
+                pending: Mutex::new(None),
+            }),
+        }
+    }
+
     /// Execute the model functionally on real tensors (placement-aware
     /// graph, so `DeviceCopy` boundaries are exercised).
     pub fn run(&self, inputs: &[Tensor]) -> Vec<Tensor> {
@@ -760,6 +795,31 @@ mod tests {
         let again = engine.compile(&g);
         assert!(again.from_cache());
         assert!(again.is_tuned());
+    }
+
+    #[test]
+    fn degraded_variant_is_all_cpu_and_shares_schedules() {
+        let g = conv_chain("chain", 2);
+        let compiled = memory_engine().compile(&g);
+        let degraded = compiled.degraded();
+        assert!(
+            degraded
+                .placement()
+                .device
+                .iter()
+                .all(|d| *d == unigpu_graph::Device::Cpu),
+            "every node re-placed on the CPU"
+        );
+        assert_eq!(
+            degraded.placement().copy_count(),
+            0,
+            "single-device placement needs no copies"
+        );
+        assert!(degraded.estimate().total_ms > 0.0);
+        assert!(
+            degraded.estimate_batch_ms(4) != compiled.estimate_batch_ms(4),
+            "CPU pricing differs from the compiled placement"
+        );
     }
 
     #[test]

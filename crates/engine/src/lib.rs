@@ -14,7 +14,11 @@
 //!   batched request scheduler: concurrent requests coalesce into
 //!   same-shape batches (bounded size and wait window) and execute on the
 //!   simulated multi-stream device timeline, reporting per-request
-//!   queueing/latency and aggregate throughput through telemetry.
+//!   queueing/latency and aggregate throughput through telemetry. The
+//!   scheduler is hardened for production failure modes: bounded admission
+//!   with load shedding, per-request deadlines, device-fault retry with an
+//!   all-CPU degraded fallback, a circuit breaker, and panic-isolated
+//!   workers over poison-recovering locks ([`lock`]).
 //!
 //! Typical use:
 //!
@@ -28,6 +32,7 @@
 pub mod artifact;
 pub mod cache;
 pub mod compiled;
+pub mod lock;
 pub mod serve;
 
 pub use artifact::{
@@ -37,6 +42,6 @@ pub use artifact::{
 pub use cache::{default_artifact_dir, ArtifactCache, CacheStats};
 pub use compiled::{CompiledModel, Engine, EngineBuilder};
 pub use serve::{
-    serve, uniform_requests, InferenceRequest, RequestQueue, RequestResult, ServeConfig,
-    ServeReport, LANE_WORKER_BASE,
+    serve, uniform_requests, Admission, InferenceRequest, RequestQueue, RequestResult,
+    ServeConfig, ServeReport, LANE_CONTROL, LANE_WORKER_BASE,
 };

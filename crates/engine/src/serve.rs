@@ -1,5 +1,6 @@
 //! Concurrent serving: a request queue with shape-aware batch coalescing
-//! and a worker pool executing on the simulated device timeline.
+//! and a worker pool executing on the simulated device timeline — hardened
+//! for production failure modes.
 //!
 //! Workers are real `std::thread`s; *execution* is priced on the simulated
 //! clock. A batch becomes ready at the latest arrival among its requests,
@@ -8,21 +9,61 @@
 //! latency therefore decomposes exactly as queueing delay (`start −
 //! arrival`) plus execution (`done − start`), and throughput falls out of
 //! the timeline makespan.
+//!
+//! ## Fault tolerance
+//!
+//! The serving path assumes the device *misbehaves* (see
+//! [`DeviceFaultPlan`], read from `UNIGPU_FAULTS` by the CLI):
+//!
+//! * **Admission control** — [`RequestQueue`] can be bounded
+//!   ([`ServeConfig::queue_cap`]); offers beyond capacity are shed with an
+//!   `engine.shed` count, never silently dropped. A closed queue drains
+//!   what it holds and rejects new offers (drain-then-reject).
+//! * **Deadlines** — [`ServeConfig::deadline_ms`] gives every request a
+//!   completion budget from its arrival; requests whose batch would finish
+//!   past the budget are rejected at batch formation and counted under
+//!   `engine.deadline_expired`.
+//! * **Retry + re-placement** — a transient kernel fault retries the launch
+//!   (up to [`ServeConfig::max_retries`], `engine.retries`); exhausted
+//!   retries or a non-transient fault (OOM) re-place the batch on the
+//!   all-CPU degraded variant ([`CompiledModel::degraded`],
+//!   `engine.degraded_batches`).
+//! * **Circuit breaker** — K consecutive device faults trip a per-device
+//!   breaker (`engine.breaker_state` gauge: 0 closed / 1 open / 2
+//!   half-open); while open, batches route straight to the CPU variant.
+//!   After [`ServeConfig::breaker_cooldown_ms`] of simulated time it
+//!   half-opens, probes the device, and closes on success.
+//! * **Panic isolation** — each batch executes under `catch_unwind`; a
+//!   panicking worker restarts and retries the batch (panic injection
+//!   disabled), then falls back to CPU accounting, so a single poisoned
+//!   lock or bad request can never wedge the scheduler.
+//!
+//! With an empty fault plan and default config the scheduler is
+//! bit-identical to the pre-fault-tolerance one: same batches, same
+//! timeline, same per-request results.
 
 use crate::compiled::CompiledModel;
+use crate::lock;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
-use unigpu_device::MultiTimeline;
-use unigpu_telemetry::{MetricsRegistry, SpanRecord, SpanRecorder};
+use unigpu_device::{DeviceFaultPlan, DeviceFaultState, LaunchOutcome, MultiTimeline};
+use unigpu_telemetry::{tel_warn, MetricsRegistry, SpanRecord, SpanRecorder};
 use unigpu_tensor::Shape;
 
 /// First Chrome-trace lane used by serving workers (lanes 0–2 belong to the
 /// estimator's GPU/CPU/transfer lanes).
 pub const LANE_WORKER_BASE: u32 = 8;
 
-const POISONED: &str = "request queue poisoned";
+/// Chrome-trace lane for control-plane events: retries, breaker
+/// transitions, fault reports.
+pub const LANE_CONTROL: u32 = 7;
+
+/// Fraction of the nominal batch time a *failed* launch occupies the lane
+/// before the driver reports the error (kernels fail fast, not free).
+const FAULT_LATENCY_FRACTION: f64 = 0.25;
 
 /// One inference request.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +75,7 @@ pub struct InferenceRequest {
     pub arrival_ms: f64,
 }
 
-/// Batching and concurrency knobs.
+/// Batching, concurrency, and fault-tolerance knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads, each with its own simulated device stream.
@@ -44,6 +85,23 @@ pub struct ServeConfig {
     /// Wall-clock time a worker holds an underfull batch open for more
     /// same-shape arrivals before flushing it.
     pub batch_window: Duration,
+    /// Admission-control bound on the request queue; offers beyond it are
+    /// shed. `None` = unbounded (the pre-fault-tolerance behavior).
+    pub queue_cap: Option<usize>,
+    /// Per-request completion budget from arrival, simulated ms. Requests
+    /// whose batch would finish past the budget are rejected at batch
+    /// formation. `None` = no deadlines.
+    pub deadline_ms: Option<f64>,
+    /// Deterministic device-fault plan (the CLI wires `UNIGPU_FAULTS`
+    /// here). A no-op plan leaves serving bit-identical to fault-free.
+    pub faults: DeviceFaultPlan,
+    /// Transient-fault retries per batch before degrading to the CPU.
+    pub max_retries: usize,
+    /// Consecutive device faults that trip the circuit breaker (0 disables
+    /// the breaker).
+    pub breaker_threshold: usize,
+    /// Simulated ms an open breaker waits before half-opening a probe.
+    pub breaker_cooldown_ms: f64,
 }
 
 impl Default for ServeConfig {
@@ -52,8 +110,24 @@ impl Default for ServeConfig {
             concurrency: 2,
             max_batch: 8,
             batch_window: Duration::from_millis(2),
+            queue_cap: None,
+            deadline_ms: None,
+            faults: DeviceFaultPlan::default(),
+            max_retries: 2,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 50.0,
         }
     }
+}
+
+/// Outcome of offering a request to a [`RequestQueue`].
+#[derive(Debug, PartialEq)]
+pub enum Admission {
+    Accepted,
+    /// The queue is at capacity — the request is shed back to the caller.
+    Shed(InferenceRequest),
+    /// The queue is closed — draining what it holds, accepting nothing new.
+    Closed(InferenceRequest),
 }
 
 #[derive(Debug, Default)]
@@ -62,32 +136,81 @@ struct QueueState {
     closed: bool,
 }
 
-/// Thread-safe FIFO of requests with shape-aware batch extraction.
-#[derive(Debug, Default)]
+/// Thread-safe FIFO of requests with shape-aware batch extraction and
+/// optional bounded admission. All lock acquisitions recover from poison
+/// ([`lock::recover`]) so a panicked worker cannot wedge the queue.
+#[derive(Debug)]
 pub struct RequestQueue {
+    cap: usize,
     state: Mutex<QueueState>,
     ready: Condvar,
 }
 
+impl Default for RequestQueue {
+    fn default() -> Self {
+        RequestQueue {
+            cap: usize::MAX,
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
 impl RequestQueue {
+    /// An unbounded queue.
     pub fn new() -> Self {
         RequestQueue::default()
     }
 
+    /// A queue admitting at most `cap` queued requests at a time.
+    pub fn bounded(cap: usize) -> Self {
+        RequestQueue {
+            cap: cap.max(1),
+            ..RequestQueue::default()
+        }
+    }
+
+    /// Queue capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueue unconditionally, bypassing admission control. Kept for
+    /// pre-admission callers and for re-inserting already-admitted work;
+    /// new code should prefer [`RequestQueue::offer`].
     pub fn push(&self, req: InferenceRequest) {
-        self.state.lock().expect(POISONED).queue.push_back(req);
+        lock::recover(&self.state).queue.push_back(req);
         self.ready.notify_all();
     }
 
-    /// Mark the queue closed: blocked `pop_batch` calls flush what they
-    /// hold and then return `None` once the queue drains.
+    /// Offer a request through admission control: rejected (with the
+    /// request handed back) when the queue is closed or at capacity.
+    pub fn offer(&self, req: InferenceRequest) -> Admission {
+        {
+            let mut st = lock::recover(&self.state);
+            if st.closed {
+                return Admission::Closed(req);
+            }
+            if st.queue.len() >= self.cap {
+                return Admission::Shed(req);
+            }
+            st.queue.push_back(req);
+        }
+        self.ready.notify_all();
+        Admission::Accepted
+    }
+
+    /// Mark the queue closed: new offers are rejected immediately, while
+    /// blocked `pop_batch` calls flush what they hold and then return
+    /// `None` once the queue drains (drain-then-reject — close never loses
+    /// queued requests).
     pub fn close(&self) {
-        self.state.lock().expect(POISONED).closed = true;
+        lock::recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     pub fn len(&self) -> usize {
-        self.state.lock().expect(POISONED).queue.len()
+        lock::recover(&self.state).queue.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -104,14 +227,17 @@ impl RequestQueue {
     /// closes. Returns `None` once the queue is closed and drained.
     pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<InferenceRequest>> {
         let max = max.max(1);
-        let mut st = self.state.lock().expect(POISONED);
+        let mut st = lock::recover(&self.state);
         let mut deadline: Option<Instant> = None;
         loop {
             while st.queue.is_empty() {
                 if st.closed {
                     return None;
                 }
-                st = self.ready.wait(st).expect(POISONED);
+                st = self.ready.wait(st).unwrap_or_else(|p| {
+                    self.state.clear_poison();
+                    p.into_inner()
+                });
             }
             // the window opens when this worker first sees a request
             let flush_at = *deadline.get_or_insert_with(|| Instant::now() + window);
@@ -122,7 +248,13 @@ impl RequestQueue {
             if take == max || st.closed || matching < st.queue.len() || now >= flush_at {
                 return Some(st.queue.drain(..take).collect());
             }
-            let (guard, _) = self.ready.wait_timeout(st, flush_at - now).expect(POISONED);
+            let (guard, _) = self
+                .ready
+                .wait_timeout(st, flush_at - now)
+                .unwrap_or_else(|p| {
+                    self.state.clear_poison();
+                    p.into_inner()
+                });
             st = guard;
         }
     }
@@ -140,6 +272,9 @@ pub struct RequestResult {
     pub batch_size: usize,
     /// Worker (device stream) that executed it.
     pub worker: usize,
+    /// True when device faults re-placed this batch on the all-CPU
+    /// degraded variant instead of the compiled placement.
+    pub degraded: bool,
 }
 
 impl RequestResult {
@@ -159,7 +294,10 @@ impl RequestResult {
     }
 }
 
-/// Aggregate outcome of a [`serve`] run.
+/// Aggregate outcome of a [`serve`] run. Every offered request lands in
+/// exactly one bucket: `results` (completed), `shed` (admission control),
+/// `expired` (deadline), or `failed` (repeated worker panics — the
+/// last-resort bucket, empty unless pricing itself is broken).
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Per-request results, sorted by request id.
@@ -170,6 +308,26 @@ pub struct ServeReport {
     pub makespan_ms: f64,
     /// The per-worker device timeline (for trace export / utilization).
     pub timeline: MultiTimeline,
+    /// Requests offered to the scheduler (all buckets sum to this).
+    pub offered: usize,
+    /// Requests rejected by admission control (queue at capacity).
+    pub shed: Vec<InferenceRequest>,
+    /// Requests rejected because their deadline could not be met.
+    pub expired: Vec<InferenceRequest>,
+    /// Requests abandoned after repeated worker panics.
+    pub failed: Vec<InferenceRequest>,
+    /// Device faults observed (kernel failures, OOM).
+    pub device_faults: usize,
+    /// Same-device retries after transient faults.
+    pub retries: usize,
+    /// Batches re-placed on the all-CPU degraded variant.
+    pub degraded_batches: usize,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: usize,
+    /// Circuit-breaker recoveries (half-open → closed).
+    pub breaker_recoveries: usize,
+    /// Worker panics caught and isolated.
+    pub worker_panics: usize,
 }
 
 impl ServeReport {
@@ -200,14 +358,377 @@ impl ServeReport {
             self.results.len() as f64 / self.batches as f64
         }
     }
+
+    /// Requests in no bucket at all — the chaos invariant is that this is
+    /// always zero.
+    pub fn lost(&self) -> usize {
+        self.offered.saturating_sub(
+            self.results.len() + self.shed.len() + self.expired.len() + self.failed.len(),
+        )
+    }
 }
 
-/// Serve a fixed request set through a compiled model and report
-/// per-request latency plus throughput. Emits one span per request (lane
-/// `LANE_WORKER_BASE + worker`) and `engine.*` metrics:
-/// `engine.requests`/`engine.batches` counters,
+/// Per-device circuit breaker: K consecutive faults open it (batches route
+/// to the CPU variant), a simulated-clock cooldown half-opens it, and a
+/// successful probe closes it again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerPhase {
+    Closed,
+    Open { until_ms: f64 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    phase: BreakerPhase,
+    consecutive_faults: usize,
+    trips: usize,
+    recoveries: usize,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            phase: BreakerPhase::Closed,
+            consecutive_faults: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    fn gauge(&self) -> f64 {
+        match self.phase {
+            BreakerPhase::Closed => 0.0,
+            BreakerPhase::Open { .. } => 1.0,
+            BreakerPhase::HalfOpen => 2.0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct FaultTally {
+    device_faults: AtomicUsize,
+    retries: AtomicUsize,
+    degraded_batches: AtomicUsize,
+    worker_panics: AtomicUsize,
+}
+
+/// Everything a worker needs, borrowed for the scope of one `serve` run.
+struct Ctx<'a> {
+    compiled: &'a CompiledModel,
+    cfg: &'a ServeConfig,
+    spans: &'a SpanRecorder,
+    metrics: &'a MetricsRegistry,
+    queue: &'a RequestQueue,
+    timeline: &'a Mutex<MultiTimeline>,
+    results: &'a Mutex<Vec<RequestResult>>,
+    expired: &'a Mutex<Vec<InferenceRequest>>,
+    failed: &'a Mutex<Vec<InferenceRequest>>,
+    batches: &'a AtomicUsize,
+    faults: &'a Mutex<DeviceFaultState>,
+    breaker: &'a Mutex<Breaker>,
+    degraded: &'a OnceLock<CompiledModel>,
+    tally: &'a FaultTally,
+}
+
+impl Ctx<'_> {
+    fn breaker_transition(&self, to: &str, gauge: f64, at_ms: f64, detail: String) {
+        self.metrics.set_gauge("engine.breaker_state", gauge);
+        self.spans.record(SpanRecord {
+            name: format!("breaker→{to}"),
+            category: "breaker".into(),
+            start_us: at_ms * 1000.0,
+            dur_us: 0.0,
+            lane: LANE_CONTROL,
+            attrs: vec![("detail".into(), detail)],
+        });
+    }
+
+    /// May this batch try the device right now? Handles the open→half-open
+    /// transition when the cooldown has elapsed on the simulated clock.
+    fn breaker_allows_gpu(&self, now_ms: f64) -> bool {
+        let mut b = lock::recover(self.breaker);
+        match b.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen => true,
+            BreakerPhase::Open { until_ms } if now_ms >= until_ms => {
+                b.phase = BreakerPhase::HalfOpen;
+                let gauge = b.gauge();
+                drop(b);
+                self.breaker_transition(
+                    "half_open",
+                    gauge,
+                    now_ms,
+                    format!("cooldown elapsed at {now_ms:.3} ms; probing device"),
+                );
+                true
+            }
+            BreakerPhase::Open { .. } => false,
+        }
+    }
+
+    fn breaker_on_success(&self, at_ms: f64) {
+        let mut b = lock::recover(self.breaker);
+        b.consecutive_faults = 0;
+        if b.phase == BreakerPhase::HalfOpen {
+            b.phase = BreakerPhase::Closed;
+            b.recoveries += 1;
+            self.metrics.inc("engine.breaker_recoveries");
+            let gauge = b.gauge();
+            drop(b);
+            self.breaker_transition(
+                "closed",
+                gauge,
+                at_ms,
+                "probe succeeded; device recovered".into(),
+            );
+        }
+    }
+
+    /// Record a device fault; returns `true` if the breaker is (now) open.
+    fn breaker_on_fault(&self, at_ms: f64) -> bool {
+        let threshold = self.cfg.breaker_threshold;
+        let mut b = lock::recover(self.breaker);
+        b.consecutive_faults += 1;
+        let trip = match b.phase {
+            BreakerPhase::HalfOpen => true, // failed probe: straight back open
+            BreakerPhase::Closed => threshold > 0 && b.consecutive_faults >= threshold,
+            BreakerPhase::Open { .. } => return true,
+        };
+        if trip {
+            b.phase = BreakerPhase::Open {
+                until_ms: at_ms + self.cfg.breaker_cooldown_ms,
+            };
+            b.trips += 1;
+            self.metrics.inc("engine.breaker_trips");
+            let (gauge, faults) = (b.gauge(), b.consecutive_faults);
+            drop(b);
+            self.breaker_transition(
+                "open",
+                gauge,
+                at_ms,
+                format!(
+                    "{faults} consecutive fault(s); cooling down {:.1} ms",
+                    self.cfg.breaker_cooldown_ms
+                ),
+            );
+        }
+        trip
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ExecMode {
+    /// Normal path: device attempts with retry/breaker, CPU on exhaustion.
+    Device { inject_panics: bool },
+    /// Last-resort path after repeated panics: price on the CPU variant
+    /// without touching the device or the panic-injection counters.
+    ForceDegraded,
+}
+
+/// Execute (or reject) one popped batch. Runs under `catch_unwind` — every
+/// lock it takes recovers from poison.
+fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode) {
+    if let ExecMode::Device {
+        inject_panics: true,
+    } = mode
+    {
+        let panic_now = lock::recover(ctx.faults).worker_panic_now();
+        if panic_now {
+            panic!("injected worker panic (UNIGPU_FAULTS worker_panic_nth)");
+        }
+    }
+
+    // Deadline admission at batch formation: requests whose completion
+    // budget the batch would already blow are rejected, counted, and never
+    // executed. The projection uses the full batch; survivors ride a batch
+    // that is no larger, so it finishes no later than projected.
+    let mut kept: Vec<&InferenceRequest> = batch.iter().collect();
+    if let Some(budget) = ctx.cfg.deadline_ms {
+        let free = lock::recover(ctx.timeline).free_at(w);
+        let ready = batch.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
+        let base = ctx.compiled.estimate_batch_ms(batch.len());
+        let factor = lock::recover(ctx.faults).throttle_factor_now();
+        let projected_done = free.max(ready) + base * factor;
+        let (ok, late): (Vec<_>, Vec<_>) = kept
+            .into_iter()
+            .partition(|r| r.arrival_ms + budget >= projected_done);
+        if !late.is_empty() {
+            ctx.metrics
+                .add("engine.deadline_expired", late.len() as u64);
+            lock::recover(ctx.expired).extend(late.into_iter().cloned());
+        }
+        kept = ok;
+    }
+    if kept.is_empty() {
+        return;
+    }
+
+    let len = kept.len();
+    let ready_ms = kept.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
+    let base_ms = ctx.compiled.estimate_batch_ms(len);
+    let idx = ctx.batches.fetch_add(1, Ordering::Relaxed);
+
+    let (start, done, degraded) = match mode {
+        ExecMode::ForceDegraded => run_degraded(ctx, w, idx, len, ready_ms),
+        ExecMode::Device { .. } => {
+            let mut attempts = 0usize;
+            loop {
+                let now = lock::recover(ctx.timeline).free_at(w).max(ready_ms);
+                if !ctx.breaker_allows_gpu(now) {
+                    break run_degraded(ctx, w, idx, len, ready_ms);
+                }
+                match lock::recover(ctx.faults).on_launch(base_ms, len) {
+                    LaunchOutcome::Ok { duration_ms } => {
+                        let start = lock::recover(ctx.timeline).schedule(
+                            w,
+                            format!("batch{idx}[{len}]"),
+                            ready_ms,
+                            duration_ms,
+                        );
+                        ctx.breaker_on_success(start + duration_ms);
+                        break (start, start + duration_ms, false);
+                    }
+                    LaunchOutcome::Fault(f) => {
+                        ctx.tally.device_faults.fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.inc("engine.device_faults");
+                        // the failed launch occupies the lane until the
+                        // driver reports the error
+                        let cost = base_ms * FAULT_LATENCY_FRACTION;
+                        let at = lock::recover(ctx.timeline).schedule(
+                            w,
+                            format!("fault{idx}[{f}]"),
+                            ready_ms,
+                            cost,
+                        );
+                        let open = ctx.breaker_on_fault(at + cost);
+                        attempts += 1;
+                        if open || !f.is_transient() || attempts > ctx.cfg.max_retries {
+                            break run_degraded(ctx, w, idx, len, ready_ms);
+                        }
+                        ctx.tally.retries.fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.inc("engine.retries");
+                        ctx.spans.record(SpanRecord {
+                            name: format!("retry batch{idx}"),
+                            category: "retry".into(),
+                            start_us: at * 1000.0,
+                            dur_us: cost * 1000.0,
+                            lane: LANE_CONTROL,
+                            attrs: vec![
+                                ("fault".into(), f.to_string()),
+                                ("attempt".into(), attempts.to_string()),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+    };
+
+    ctx.metrics.inc("engine.batches");
+    ctx.metrics.observe("engine.batch_size", len as f64);
+    ctx.metrics.observe("engine.exec_ms", done - start);
+    let mut out = Vec::with_capacity(len);
+    for r in kept {
+        ctx.metrics.inc("engine.requests");
+        ctx.metrics.observe("engine.queue_ms", start - r.arrival_ms);
+        ctx.metrics
+            .observe("engine.latency_ms", done - r.arrival_ms);
+        ctx.spans.record(SpanRecord {
+            name: format!("req{}", r.id),
+            category: "request".into(),
+            start_us: start * 1000.0,
+            dur_us: (done - start) * 1000.0,
+            lane: LANE_WORKER_BASE + w as u32,
+            attrs: vec![
+                ("batch".into(), len.to_string()),
+                ("worker".into(), w.to_string()),
+                ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
+                ("device".into(), if degraded { "cpu" } else { "gpu" }.into()),
+            ],
+        });
+        out.push(RequestResult {
+            id: r.id,
+            arrival_ms: r.arrival_ms,
+            start_ms: start,
+            done_ms: done,
+            batch_size: len,
+            worker: w,
+            degraded,
+        });
+    }
+    lock::recover(ctx.results).extend(out);
+}
+
+/// Price the batch on the all-CPU degraded variant (graceful degradation).
+fn run_degraded(ctx: &Ctx, w: usize, idx: usize, len: usize, ready_ms: f64) -> (f64, f64, bool) {
+    let model = ctx.degraded.get_or_init(|| ctx.compiled.degraded());
+    let ms = model.estimate_batch_ms(len);
+    let start =
+        lock::recover(ctx.timeline).schedule(w, format!("batch{idx}[{len}]@cpu"), ready_ms, ms);
+    ctx.tally.degraded_batches.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics.inc("engine.degraded_batches");
+    (start, start + ms, true)
+}
+
+/// One worker: pop batches until the queue closes and drains. Each batch
+/// runs under `catch_unwind`; a panic restarts the worker and retries the
+/// batch with panic injection disabled, then degrades to CPU accounting —
+/// a batch is abandoned (into the `failed` bucket) only if even that
+/// panics.
+fn worker_loop(w: usize, ctx: &Ctx) {
+    while let Some(batch) = ctx.queue.pop_batch(ctx.cfg.max_batch, ctx.cfg.batch_window) {
+        let mut settled = false;
+        for (attempt, mode) in [
+            ExecMode::Device {
+                inject_panics: true,
+            },
+            ExecMode::Device {
+                inject_panics: false,
+            },
+            ExecMode::ForceDegraded,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let outcome = catch_unwind(AssertUnwindSafe(|| process_batch(w, &batch, ctx, mode)));
+            match outcome {
+                Ok(()) => {
+                    settled = true;
+                    break;
+                }
+                Err(_) => {
+                    ctx.tally.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.inc("engine.worker_panics");
+                    tel_warn!(
+                        "engine::serve",
+                        "worker {w} panicked on a batch of {} (attempt {}); restarting",
+                        batch.len(),
+                        attempt + 1
+                    );
+                }
+            }
+        }
+        if !settled {
+            // even degraded accounting panicked: bucket the requests as
+            // failed so they are counted, never silently dropped
+            ctx.metrics.add("engine.failed", batch.len() as u64);
+            lock::recover(ctx.failed).extend(batch.iter().cloned());
+        }
+    }
+}
+
+/// Serve a request set through a compiled model and report per-request
+/// latency plus throughput, with load shedding, deadlines, device-fault
+/// retry/degradation, a circuit breaker, and panic-isolated workers (see
+/// the module docs). Emits one span per request (lane `LANE_WORKER_BASE +
+/// worker`), control-plane spans on [`LANE_CONTROL`], and `engine.*`
+/// metrics: `engine.requests`/`engine.batches` counters,
 /// `engine.queue_ms`/`engine.latency_ms`/`engine.exec_ms`/`engine.batch_size`
-/// histograms, and `engine.throughput_rps`/`engine.makespan_ms` gauges.
+/// histograms, `engine.throughput_rps`/`engine.makespan_ms`/
+/// `engine.breaker_state` gauges, and the fault counters
+/// `engine.shed`/`engine.deadline_expired`/`engine.device_faults`/
+/// `engine.retries`/`engine.degraded_batches`/`engine.breaker_trips`/
+/// `engine.breaker_recoveries`/`engine.worker_panics`.
 pub fn serve(
     compiled: &CompiledModel,
     mut requests: Vec<InferenceRequest>,
@@ -217,82 +738,86 @@ pub fn serve(
 ) -> ServeReport {
     let workers = cfg.concurrency.max(1);
     requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+    let offered = requests.len();
 
-    let queue = RequestQueue::new();
+    let queue = match cfg.queue_cap {
+        Some(cap) => RequestQueue::bounded(cap),
+        None => RequestQueue::new(),
+    };
     let timeline = Mutex::new(MultiTimeline::new(workers));
     let results = Mutex::new(Vec::<RequestResult>::new());
+    let expired = Mutex::new(Vec::<InferenceRequest>::new());
+    let failed = Mutex::new(Vec::<InferenceRequest>::new());
     let batches = AtomicUsize::new(0);
+    let faults = Mutex::new(DeviceFaultState::new(cfg.faults));
+    let breaker = Mutex::new(Breaker::new());
+    let degraded = OnceLock::new();
+    let tally = FaultTally::default();
+    let mut shed = Vec::new();
+
+    let ctx = Ctx {
+        compiled,
+        cfg,
+        spans,
+        metrics,
+        queue: &queue,
+        timeline: &timeline,
+        results: &results,
+        expired: &expired,
+        failed: &failed,
+        batches: &batches,
+        faults: &faults,
+        breaker: &breaker,
+        degraded: &degraded,
+        tally: &tally,
+    };
 
     std::thread::scope(|scope| {
         for w in 0..workers {
-            let queue = &queue;
-            let timeline = &timeline;
-            let results = &results;
-            let batches = &batches;
-            scope.spawn(move || {
-                while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.batch_window) {
-                    let exec_ms = compiled.estimate_batch_ms(batch.len());
-                    let ready_ms = batch.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
-                    let idx = batches.fetch_add(1, Ordering::Relaxed);
-                    let start = timeline.lock().expect("timeline poisoned").schedule(
-                        w,
-                        format!("batch{idx}[{}]", batch.len()),
-                        ready_ms,
-                        exec_ms,
-                    );
-                    let done = start + exec_ms;
-                    metrics.inc("engine.batches");
-                    metrics.observe("engine.batch_size", batch.len() as f64);
-                    metrics.observe("engine.exec_ms", exec_ms);
-                    let mut out = Vec::with_capacity(batch.len());
-                    for r in &batch {
-                        metrics.inc("engine.requests");
-                        metrics.observe("engine.queue_ms", start - r.arrival_ms);
-                        metrics.observe("engine.latency_ms", done - r.arrival_ms);
-                        spans.record(SpanRecord {
-                            name: format!("req{}", r.id),
-                            category: "request".into(),
-                            start_us: start * 1000.0,
-                            dur_us: exec_ms * 1000.0,
-                            lane: LANE_WORKER_BASE + w as u32,
-                            attrs: vec![
-                                ("batch".into(), batch.len().to_string()),
-                                ("worker".into(), w.to_string()),
-                                ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
-                            ],
-                        });
-                        out.push(RequestResult {
-                            id: r.id,
-                            arrival_ms: r.arrival_ms,
-                            start_ms: start,
-                            done_ms: done,
-                            batch_size: batch.len(),
-                            worker: w,
-                        });
-                    }
-                    results.lock().expect("results poisoned").extend(out);
-                }
-            });
+            let ctx = &ctx;
+            scope.spawn(move || worker_loop(w, ctx));
         }
-        // feed in arrival order; workers drain concurrently
+        // feed in arrival order; workers drain concurrently. Rejections are
+        // collected here — never silently dropped.
         for r in requests {
-            queue.push(r);
+            match queue.offer(r) {
+                Admission::Accepted => {}
+                Admission::Shed(r) | Admission::Closed(r) => {
+                    metrics.inc("engine.shed");
+                    shed.push(r);
+                }
+            }
         }
         queue.close();
     });
 
-    let timeline = timeline.into_inner().expect("timeline poisoned");
-    let mut results = results.into_inner().expect("results poisoned");
+    let timeline = timeline.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut results = results.into_inner().unwrap_or_else(|p| p.into_inner());
     results.sort_by_key(|r| r.id);
+    let mut expired = expired.into_inner().unwrap_or_else(|p| p.into_inner());
+    expired.sort_by_key(|r| r.id);
+    let failed = failed.into_inner().unwrap_or_else(|p| p.into_inner());
+    let breaker = breaker.into_inner().unwrap_or_else(|p| p.into_inner());
     let makespan_ms = timeline.makespan_ms();
     let report = ServeReport {
         results,
         batches: batches.load(Ordering::Relaxed),
         makespan_ms,
         timeline,
+        offered,
+        shed,
+        expired,
+        failed,
+        device_faults: tally.device_faults.load(Ordering::Relaxed),
+        retries: tally.retries.load(Ordering::Relaxed),
+        degraded_batches: tally.degraded_batches.load(Ordering::Relaxed),
+        breaker_trips: breaker.trips,
+        breaker_recoveries: breaker.recoveries,
+        worker_panics: tally.worker_panics.load(Ordering::Relaxed),
     };
     metrics.set_gauge("engine.makespan_ms", makespan_ms);
     metrics.set_gauge("engine.throughput_rps", report.throughput_rps());
+    metrics.set_gauge("engine.breaker_state", breaker.gauge());
     report
 }
 
@@ -428,5 +953,64 @@ mod tests {
             q.close();
             assert!(waiter.join().unwrap().is_none());
         });
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity() {
+        let q = RequestQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.offer(req(0, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+        assert_eq!(q.offer(req(1, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+        match q.offer(req(2, &[1, 3, 8, 8], 0.0)) {
+            Admission::Shed(r) => assert_eq!(r.id, 2, "the shed request comes back"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // draining frees capacity again
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.offer(req(3, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+    }
+
+    #[test]
+    fn close_drains_queued_requests_then_rejects_new_offers() {
+        let q = RequestQueue::new();
+        for i in 0..5 {
+            assert_eq!(q.offer(req(i, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+        }
+        q.close();
+        // new offers are rejected immediately...
+        match q.offer(req(9, &[1, 3, 8, 8], 0.0)) {
+            Admission::Closed(r) => assert_eq!(r.id, 9),
+            other => panic!("expected closed, got {other:?}"),
+        }
+        // ...but everything already queued still drains, in order
+        let mut drained = Vec::new();
+        while let Some(batch) = q.pop_batch(2, Duration::from_millis(1)) {
+            drained.extend(batch.iter().map(|r| r.id));
+        }
+        assert_eq!(
+            drained,
+            vec![0, 1, 2, 3, 4],
+            "no queued request lost on close"
+        );
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        let q = RequestQueue::new();
+        q.push(req(0, &[1, 3, 8, 8], 0.0));
+        // poison the state mutex the way a panicking worker would
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = q.state.lock().unwrap();
+            panic!("worker dies holding the queue lock");
+        }));
+        assert!(q.state.is_poisoned());
+        // every entry point recovers instead of cascading the panic
+        q.push(req(1, &[1, 3, 8, 8], 0.0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.offer(req(2, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+        q.close();
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 3);
     }
 }

@@ -129,6 +129,7 @@ fn per_request_latency_decomposes_on_the_simulated_clock() {
         concurrency: 2,
         max_batch: 4,
         batch_window: Duration::from_millis(2),
+        ..Default::default()
     };
     let report = compiled.serve(uniform_requests(&compiled, n, 0.1), &cfg, &spans, &metrics);
 
@@ -177,6 +178,7 @@ fn batching_trades_latency_for_throughput() {
             concurrency: 2,
             max_batch,
             batch_window: Duration::from_millis(1),
+            ..Default::default()
         };
         let spans = SpanRecorder::new();
         let metrics = MetricsRegistry::new();

@@ -268,6 +268,38 @@ mod tests {
     }
 
     #[test]
+    fn load_recovering_salvages_a_truncated_final_line() {
+        // the crash-mid-write shape: a full record, then a record cut off
+        // partway through (no trailing newline)
+        let dir = std::env::temp_dir().join("unigpu_db_truncate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.jsonl");
+        let w1 = ConvWorkload::square(1, 8, 8, 8, 3, 1, 1);
+        let w2 = ConvWorkload::depthwise(1, 32, 56, 3, 1, 1);
+        let mut db = Database::new();
+        db.insert(rec("dev", &w1, 1.25));
+        db.insert(rec("dev", &w2, 2.5));
+        let text = db.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let last = lines[1];
+        let truncated = format!("{}\n{}", lines[0], &last[..last.len() / 2]);
+        std::fs::write(&path, truncated).unwrap();
+
+        assert!(Database::load(&path).is_err(), "strict load still fails");
+        let (recovered, recovery) = Database::load_recovering(&path);
+        assert_eq!(recovery.recovered, 1, "the intact line survives");
+        assert_eq!(recovery.skipped, 1, "the truncated tail is dropped");
+        assert!(recovery.first_error.is_some());
+        assert_eq!(recovered.len(), 1);
+        assert!(
+            recovered.lookup("dev", &w1).is_some() || recovered.lookup("dev", &w2).is_some(),
+            "whichever record serialized first is recovered"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_recovering_missing_file_is_empty_and_clean() {
         let (db, recovery) = Database::load_recovering(std::path::Path::new(
             "/nonexistent/unigpu/records.jsonl",

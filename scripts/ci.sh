@@ -125,4 +125,33 @@ echo "farm smoke test: $(wc -l < "$farm_tmp/farm.jsonl") record line(s) tuned vi
 cleanup_farm
 trap - EXIT
 
+echo "==> serving chaos smoke test"
+# Serving under a fixed deterministic fault plan (kernel failures, thermal
+# throttling, an injected worker panic) with a bounded queue and deadlines
+# must exit 0 with every request accounted for — zero lost.
+chaos_tmp=$(mktemp -d)
+trap 'rm -rf "$chaos_tmp"' EXIT
+if ! UNIGPU_DB_DIR="$chaos_tmp/db" \
+    UNIGPU_FAULTS="kernel_fail_first=4,kernel_fail_nth=9,throttle_after_ms=2:1.5,worker_panic_nth=6" \
+    ./target/release/unigpu serve MobileNet1.0 --platform deeplens \
+    --requests 48 --concurrency 2 --batch 4 --queue-cap 64 --deadline-ms 400 \
+    > "$chaos_tmp/serve.log" 2>&1; then
+  echo "error: serve exited non-zero under the chaos fault plan"
+  cat "$chaos_tmp/serve.log"
+  exit 1
+fi
+if ! grep -q '(0 lost)' "$chaos_tmp/serve.log"; then
+  echo "error: chaos serve lost requests (accounting did not balance):"
+  cat "$chaos_tmp/serve.log"
+  exit 1
+fi
+if ! grep -q '^accounting: 48 offered' "$chaos_tmp/serve.log"; then
+  echo "error: chaos serve accounting line missing or wrong offered count:"
+  cat "$chaos_tmp/serve.log"
+  exit 1
+fi
+grep '^accounting:' "$chaos_tmp/serve.log"
+rm -rf "$chaos_tmp"
+trap - EXIT
+
 echo "ci: all gates passed"

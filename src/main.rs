@@ -20,8 +20,8 @@
 use std::path::PathBuf;
 use std::time::Duration;
 use unigpu::baselines::baseline_for;
-use unigpu::device::Platform;
-use unigpu::engine::{uniform_requests, ServeConfig, LANE_WORKER_BASE};
+use unigpu::device::{DeviceFaultPlan, Platform};
+use unigpu::engine::{uniform_requests, ServeConfig, LANE_CONTROL, LANE_WORKER_BASE};
 use unigpu::graph::latency::{LANE_CPU, LANE_GPU, LANE_TRANSFER};
 use unigpu::graph::passes::optimize;
 use unigpu::graph::{parameter_count, to_dot, Graph, PlacementPolicy};
@@ -31,7 +31,7 @@ use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
 use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
-use unigpu::telemetry::{tel_error, ChromeTrace, MetricsRegistry, SpanRecorder};
+use unigpu::telemetry::{tel_error, tel_warn, ChromeTrace, MetricsRegistry, SpanRecorder};
 use unigpu::tuner::{
     device_db_path, tune_graph_with, Database, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
     TuningBudget,
@@ -179,21 +179,27 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let interval = opt(args, "--interval-ms")
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| compiled.estimate_batch_ms(1) / concurrency.max(1) as f64);
+    // fault tolerance knobs: --faults overrides the UNIGPU_FAULTS env plan
+    let faults = match opt(args, "--faults") {
+        Some(spec) => DeviceFaultPlan::parse(spec),
+        None => DeviceFaultPlan::from_env(),
+    };
+    if !faults.is_noop() {
+        tel_warn!("unigpu::cli", "device fault injection active: {faults:?}");
+    }
     let cfg = ServeConfig {
         concurrency,
         max_batch: batch,
         batch_window: Duration::from_millis(window_ms),
+        queue_cap: opt(args, "--queue-cap").and_then(|s| s.parse().ok()),
+        deadline_ms: opt(args, "--deadline-ms").and_then(|s| s.parse().ok()),
+        faults,
+        ..Default::default()
     };
     let spans = SpanRecorder::new();
     let metrics = MetricsRegistry::new();
     let report = compiled.serve(uniform_requests(&compiled, n, interval), &cfg, &spans, &metrics);
 
-    let lat = metrics
-        .histogram_summary("engine.latency_ms")
-        .ok_or_else(|| CliError("no latency histogram recorded".into()))?;
-    let queue = metrics
-        .histogram_summary("engine.queue_ms")
-        .ok_or_else(|| CliError("no queueing histogram recorded".into()))?;
     println!(
         "served {} requests on {} workers in {:.2} ms simulated ({} batches, mean size {:.1})",
         report.results.len(),
@@ -202,16 +208,45 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         report.batches,
         report.mean_batch_size()
     );
+    // every offered request lands in exactly one bucket; `lost` must be 0
     println!(
-        "throughput {:.1} req/s  latency p50 {:.2} ms / p99 {:.2} ms  queueing mean {:.2} ms",
-        metrics.gauge("engine.throughput_rps").unwrap_or(0.0),
-        lat.p50,
-        lat.p99,
-        queue.mean
+        "accounting: {} offered = {} completed + {} shed + {} deadline-expired + {} failed ({} lost)",
+        report.offered,
+        report.results.len(),
+        report.shed.len(),
+        report.expired.len(),
+        report.failed.len(),
+        report.lost()
     );
+    if report.device_faults > 0 || report.worker_panics > 0 || report.degraded_batches > 0 {
+        println!(
+            "faults: {} device fault(s), {} retry(ies), {} degraded batch(es), \
+             breaker tripped {}x / recovered {}x, {} worker panic(s)",
+            report.device_faults,
+            report.retries,
+            report.degraded_batches,
+            report.breaker_trips,
+            report.breaker_recoveries,
+            report.worker_panics
+        );
+    }
+    // all requests may have been shed/expired, so the histograms are optional
+    if let (Some(lat), Some(queue)) = (
+        metrics.histogram_summary("engine.latency_ms"),
+        metrics.histogram_summary("engine.queue_ms"),
+    ) {
+        println!(
+            "throughput {:.1} req/s  latency p50 {:.2} ms / p99 {:.2} ms  queueing mean {:.2} ms",
+            metrics.gauge("engine.throughput_rps").unwrap_or(0.0),
+            lat.p50,
+            lat.p99,
+            queue.mean
+        );
+    }
 
     if let Some(path) = opt(args, "--trace") {
         let mut trace = ChromeTrace::new();
+        trace.name_lane(LANE_CONTROL, "control (retries / breaker)");
         for w in 0..concurrency.max(1) {
             trace.name_lane(LANE_WORKER_BASE + w as u32, format!("worker {w}"));
         }
@@ -404,7 +439,7 @@ fn cmd_farm(args: &[String]) -> Result<(), CliError> {
                 ..Default::default()
             };
             if !cfg.faults.is_noop() {
-                eprintln!("[farm] fault injection active: {:?}", cfg.faults);
+                tel_warn!("unigpu::cli", "farm fault injection active: {:?}", cfg.faults);
             }
             println!("worker `{}` serving {} via {tracker}", cfg.name, platform.gpu.name);
             match run_worker(tracker, platform.gpu.clone(), cfg) {
@@ -453,8 +488,10 @@ fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn usage() -> ! {
-    eprintln!(
+/// The usage text as a [`CliError`], so an unknown command flows through
+/// the same `tel_error!` + exit-code path as every other CLI failure.
+fn usage() -> CliError {
+    CliError(
         "usage: unigpu <command>\n\
          \n\
          commands:\n\
@@ -463,6 +500,7 @@ fn usage() -> ! {
                     [--trials N] [--baseline] [--per-op]\n\
            serve <model> [--platform P] [--requests N] [--concurrency K]\n\
                     [--batch B] [--window-ms W] [--interval-ms I] [--tuned]\n\
+                    [--queue-cap N] [--deadline-ms D] [--faults PLAN]\n\
                     [--trace out.json]\n\
            profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
                     [--tuned] [--trials N] [--fallback]\n\
@@ -473,8 +511,8 @@ fn usage() -> ! {
            farm worker --tracker ADDR [--device deeplens|aisage|nano] [--name N]\n\
            codegen [--target opencl|cuda]\n\
            dot <model>                    emit Graphviz"
-    );
-    std::process::exit(2);
+            .into(),
+    )
 }
 
 fn main() {
@@ -488,7 +526,7 @@ fn main() {
         Some("farm") => cmd_farm(&args[1..]),
         Some("codegen") => cmd_codegen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
-        _ => usage(),
+        _ => Err(usage()),
     };
     if let Err(e) = result {
         tel_error!("unigpu::cli", "{e}");
