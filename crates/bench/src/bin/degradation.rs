@@ -62,6 +62,7 @@ fn main() {
         "thruput(req/s)",
         "lost"
     );
+    let mut rows = Vec::new();
     for load_factor in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let spans = SpanRecorder::new();
         let metrics = MetricsRegistry::new();
@@ -90,5 +91,42 @@ fn main() {
             report.throughput_rps(),
             report.lost()
         );
+        let offered = report.offered.max(1) as f64;
+        let lat = metrics.histogram_summary("engine.latency_ms");
+        rows.push(serde_json::json!({
+            "load_factor": load_factor,
+            "completed": report.results.len(),
+            "shed": report.shed.len(),
+            "expired": report.expired.len(),
+            "failed": report.failed.len(),
+            "shed_rate": report.shed.len() as f64 / offered,
+            "expired_rate": report.expired.len() as f64 / offered,
+            "degraded_rate": report.degraded_batches as f64 / report.batches.max(1) as f64,
+            "retries": report.retries,
+            "degraded_batches": report.degraded_batches,
+            "breaker_trips": report.breaker_trips,
+            "throughput_rps": report.throughput_rps(),
+            "latency_ms": lat.map(|l| serde_json::json!({
+                "p50": l.p50, "p95": l.p95, "p99": l.p99, "mean": l.mean,
+            })),
+            "slo_burn_rate": report.slo.burn_rate,
+            "slo_error_rate": report.slo.error_rate,
+            "device_idle_fraction": report.device_idle_fraction,
+        }));
     }
+    let path = unigpu_bench::write_bench_json(
+        "degradation",
+        &serde_json::json!({
+            "bench": "degradation",
+            "model": model,
+            "platform": platform.name,
+            "requests": REQUESTS,
+            "workers": WORKERS,
+            "queue_cap": QUEUE_CAP,
+            "deadline_ms": deadline_ms,
+            "faults": "kernel_fail_nth=7,throttle_after_ms=200:1.5",
+            "rows": rows,
+        }),
+    );
+    println!("wrote {}", path.display());
 }

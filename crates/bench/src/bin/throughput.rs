@@ -44,9 +44,10 @@ fn main() {
         platform.name
     );
     println!(
-        "{:>6} {:>14} {:>10} {:>10} {:>11} {:>8}",
-        "batch", "thruput(req/s)", "p50(ms)", "p99(ms)", "queue(ms)", "batches"
+        "{:>6} {:>14} {:>10} {:>10} {:>11} {:>8} {:>8}",
+        "batch", "thruput(req/s)", "p50(ms)", "p99(ms)", "queue(ms)", "batches", "idle"
     );
+    let mut rows = Vec::new();
     for max_batch in [1usize, 2, 4, 8, 16] {
         let spans = SpanRecorder::new();
         let metrics = MetricsRegistry::new();
@@ -66,13 +67,37 @@ fn main() {
             .histogram_summary("engine.queue_ms")
             .expect("queue histogram");
         println!(
-            "{:>6} {:>14.1} {:>10.2} {:>10.2} {:>11.2} {:>8}",
+            "{:>6} {:>14.1} {:>10.2} {:>10.2} {:>11.2} {:>8} {:>7.1}%",
             max_batch,
             report.throughput_rps(),
             lat.p50,
             lat.p99,
             queue.mean,
-            report.batches
+            report.batches,
+            report.device_idle_fraction * 100.0
         );
+        rows.push(serde_json::json!({
+            "max_batch": max_batch,
+            "throughput_rps": report.throughput_rps(),
+            "latency_ms": { "p50": lat.p50, "p95": lat.p95, "p99": lat.p99, "mean": lat.mean },
+            "queue_ms": { "p50": queue.p50, "p95": queue.p95, "p99": queue.p99, "mean": queue.mean },
+            "batches": report.batches,
+            "mean_batch_size": report.mean_batch_size(),
+            "device_idle_fraction": report.device_idle_fraction,
+            "lane_utilization": report.lane_utilization,
+        }));
     }
+    let path = unigpu_bench::write_bench_json(
+        "throughput",
+        &serde_json::json!({
+            "bench": "throughput",
+            "model": model,
+            "platform": platform.name,
+            "requests": REQUESTS,
+            "workers": WORKERS,
+            "single_sample_ms": single,
+            "rows": rows,
+        }),
+    );
+    println!("wrote {}", path.display());
 }

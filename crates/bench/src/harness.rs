@@ -196,6 +196,22 @@ pub fn overall_table(platform: &Platform, paper: &[crate::paper::OverallRow]) ->
         .collect()
 }
 
+/// Write a machine-readable benchmark artifact as `BENCH_<name>.json` in
+/// the working directory (or under `UNIGPU_BENCH_DIR`), and return the
+/// path. These files are the perf trajectory: each run overwrites its own
+/// artifact, so diffing two checkouts diffs the numbers.
+pub fn write_bench_json(name: &str, value: &serde_json::Value) -> PathBuf {
+    let dir = std::env::var("UNIGPU_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("bench JSON serializes");
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+    path
+}
+
 /// Default tuning budget for harness binaries (overridable via env).
 pub fn harness_budget() -> TuningBudget {
     let trials = std::env::var("UNIGPU_TRIALS")

@@ -12,5 +12,5 @@ pub mod paper;
 
 pub use harness::{
     harness_budget, ours_tuned_latency, overall_table, print_ablation, print_table,
-    tuned_provider_for, Row,
+    tuned_provider_for, write_bench_json, Row,
 };

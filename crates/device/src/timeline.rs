@@ -213,13 +213,33 @@ impl MultiTimeline {
         if total <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .events
+        self.busy_ms(stream) / total
+    }
+
+    /// Total simulated time `stream` spent executing events.
+    pub fn busy_ms(&self, stream: usize) -> f64 {
+        self.events
             .iter()
             .filter(|e| e.stream == stream)
             .map(|e| e.duration_ms)
-            .sum();
-        busy / total
+            .sum()
+    }
+
+    /// Per-stream utilization over the makespan, one entry per lane.
+    pub fn utilizations(&self) -> Vec<f64> {
+        (0..self.streams()).map(|s| self.utilization(s)).collect()
+    }
+
+    /// Fraction of total device capacity (`streams × makespan`) spent idle:
+    /// `1 − Σ busy / (streams · makespan)`. Zero when nothing ran — an empty
+    /// device has no observed capacity to be idle over.
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.makespan_ms();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.events.iter().map(|e| e.duration_ms).sum();
+        (1.0 - busy / (self.streams() as f64 * total)).clamp(0.0, 1.0)
     }
 
     /// Scheduled events in scheduling order.
@@ -366,5 +386,20 @@ mod tests {
         assert_eq!(mt.streams(), 1);
         assert_eq!(mt.least_loaded(), 0);
         assert_eq!(mt.utilization(0), 0.0);
+        assert_eq!(mt.idle_fraction(), 0.0, "no capacity observed, no idleness");
+    }
+
+    #[test]
+    fn idle_fraction_complements_mean_utilization() {
+        let mut mt = MultiTimeline::new(2);
+        mt.schedule(0, "x", 0.0, 4.0); // lane 0 busy 4/4
+        mt.schedule(1, "y", 0.0, 2.0); // lane 1 busy 2/4
+        assert_eq!(mt.busy_ms(0), 4.0);
+        assert_eq!(mt.busy_ms(1), 2.0);
+        let utils = mt.utilizations();
+        assert_eq!(utils.len(), 2);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        assert!((mt.idle_fraction() - (1.0 - mean)).abs() < 1e-12);
+        assert!((mt.idle_fraction() - 0.25).abs() < 1e-12);
     }
 }

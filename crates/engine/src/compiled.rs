@@ -43,7 +43,13 @@ fn search_database(graph: &Graph, spec: &DeviceSpec, budget: &TuningBudget) -> D
     let addr = std::env::var("UNIGPU_FARM_ADDR").unwrap_or_default();
     if !addr.is_empty() {
         tel_info!("engine", "dispatching schedule search to farm at {addr}");
-        match tune_graph_with(graph, spec, budget, &FarmClient::new(addr.clone()), None) {
+        // Root the farm batch's trace in the graph fingerprint: the
+        // tracker's per-lease spans become children of this context, so a
+        // remote tune stitches into the originating compile's trace — and
+        // re-compiling the same graph reproduces the same ids.
+        let trace = unigpu_telemetry::TraceContext::from_seed(fingerprint(graph));
+        let client = FarmClient::new(addr.clone()).with_trace(trace);
+        match tune_graph_with(graph, spec, budget, &client, None) {
             Ok(db) => return db,
             Err(e) => {
                 tel_warn!("engine", "farm at {addr} failed ({e}); falling back to in-process search");

@@ -7,22 +7,19 @@
 //! holder panicked mid-update for our use sites, because all updates are
 //! single-call appends/increments, so the right response is to clear the
 //! poison and keep serving.
+//!
+//! The implementation lives in `unigpu_telemetry::lock` — the lowest layer
+//! of the workspace — so the telemetry registries, the farm, and the engine
+//! share one recovery path. This module re-exports it under the engine's
+//! historical name so existing call sites keep reading `lock::recover`.
 
-use std::sync::{Mutex, MutexGuard};
-
-/// Lock `m`, recovering (and clearing) poison instead of propagating the
-/// original holder's panic into this thread.
-pub fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| {
-        m.clear_poison();
-        poisoned.into_inner()
-    })
-}
+pub use unigpu_telemetry::lock::recover;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
 
     #[test]
     fn recover_survives_a_poisoning_panic() {

@@ -50,7 +50,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use unigpu_device::{DeviceFaultPlan, DeviceFaultState, LaunchOutcome, MultiTimeline};
-use unigpu_telemetry::{tel_warn, MetricsRegistry, SpanRecord, SpanRecorder};
+use unigpu_telemetry::{
+    tel_warn, MetricsRegistry, SloConfig, SloSummary, SloTracker, SpanRecord, SpanRecorder,
+    TraceContext,
+};
 use unigpu_tensor::Shape;
 
 /// First Chrome-trace lane used by serving workers (lanes 0–2 belong to the
@@ -73,6 +76,10 @@ pub struct InferenceRequest {
     pub shape: Shape,
     /// Arrival time on the simulated clock, ms.
     pub arrival_ms: f64,
+    /// Trace context carried from an upstream caller. `None` lets the
+    /// engine derive a deterministic one from the request id
+    /// ([`TraceContext::from_seed`]), so tracing needs no caller changes.
+    pub trace: Option<TraceContext>,
 }
 
 /// Batching, concurrency, and fault-tolerance knobs.
@@ -102,6 +109,15 @@ pub struct ServeConfig {
     pub breaker_threshold: usize,
     /// Simulated ms an open breaker waits before half-opening a probe.
     pub breaker_cooldown_ms: f64,
+    /// SLO success objective over offered requests (completed within
+    /// deadline = good; shed/expired/failed = bad), e.g. `0.99`.
+    pub slo_objective: f64,
+    /// Trailing simulated-ms window for the SLO burn rate.
+    pub slo_window_ms: f64,
+    /// Trace every Nth request (by id): `1` traces everything (default),
+    /// `0` disables tracing. Sampling bounds span-arg overhead at high
+    /// offered load without losing the deterministic id derivation.
+    pub trace_sample_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -116,7 +132,22 @@ impl Default for ServeConfig {
             max_retries: 2,
             breaker_threshold: 3,
             breaker_cooldown_ms: 50.0,
+            slo_objective: 0.99,
+            slo_window_ms: 250.0,
+            trace_sample_every: 1,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The trace context for `r` under this config's sampling: the
+    /// request's own context if it carried one, else a deterministic root
+    /// derived from the request id; `None` when the id is not sampled.
+    fn request_trace(&self, r: &InferenceRequest) -> Option<TraceContext> {
+        if self.trace_sample_every == 0 || r.id % self.trace_sample_every != 0 {
+            return None;
+        }
+        Some(r.trace.unwrap_or_else(|| TraceContext::from_seed(r.id as u64)))
     }
 }
 
@@ -328,6 +359,15 @@ pub struct ServeReport {
     pub breaker_recoveries: usize,
     /// Worker panics caught and isolated.
     pub worker_panics: usize,
+    /// Fraction of total device capacity (`workers × makespan`) spent
+    /// idle — the paper's core utilization concern, measured on the
+    /// simulated timeline.
+    pub device_idle_fraction: f64,
+    /// Per-worker-lane busy fraction over the makespan.
+    pub lane_utilization: Vec<f64>,
+    /// SLO digest at the makespan: completed = good, shed/expired/failed =
+    /// bad, burn rate over [`ServeConfig::slo_window_ms`].
+    pub slo: SloSummary,
 }
 
 impl ServeReport {
@@ -429,6 +469,7 @@ struct Ctx<'a> {
     breaker: &'a Mutex<Breaker>,
     degraded: &'a OnceLock<CompiledModel>,
     tally: &'a FaultTally,
+    slo: &'a SloTracker,
 }
 
 impl Ctx<'_> {
@@ -441,6 +482,7 @@ impl Ctx<'_> {
             dur_us: 0.0,
             lane: LANE_CONTROL,
             attrs: vec![("detail".into(), detail)],
+            trace: None,
         });
     }
 
@@ -555,6 +597,9 @@ fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode
         if !late.is_empty() {
             ctx.metrics
                 .add("engine.deadline_expired", late.len() as u64);
+            for r in &late {
+                ctx.slo.bad(r.arrival_ms);
+            }
             lock::recover(ctx.expired).extend(late.into_iter().cloned());
         }
         kept = ok;
@@ -567,6 +612,9 @@ fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode
     let ready_ms = kept.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
     let base_ms = ctx.compiled.estimate_batch_ms(len);
     let idx = ctx.batches.fetch_add(1, Ordering::Relaxed);
+    // batch-level control spans (retries) stitch into the trace of the
+    // first sampled request riding the batch
+    let batch_trace = kept.iter().find_map(|r| ctx.cfg.request_trace(r));
 
     let (start, done, degraded) = match mode {
         ExecMode::ForceDegraded => run_degraded(ctx, w, idx, len, ready_ms),
@@ -617,6 +665,7 @@ fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode
                                 ("fault".into(), f.to_string()),
                                 ("attempt".into(), attempts.to_string()),
                             ],
+                            trace: batch_trace.map(|t| t.child(attempts as u64)),
                         });
                     }
                 }
@@ -633,6 +682,7 @@ fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode
         ctx.metrics.observe("engine.queue_ms", start - r.arrival_ms);
         ctx.metrics
             .observe("engine.latency_ms", done - r.arrival_ms);
+        ctx.slo.good(done);
         ctx.spans.record(SpanRecord {
             name: format!("req{}", r.id),
             category: "request".into(),
@@ -645,6 +695,7 @@ fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode
                 ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
                 ("device".into(), if degraded { "cpu" } else { "gpu" }.into()),
             ],
+            trace: ctx.cfg.request_trace(r),
         });
         out.push(RequestResult {
             id: r.id,
@@ -712,6 +763,9 @@ fn worker_loop(w: usize, ctx: &Ctx) {
             // even degraded accounting panicked: bucket the requests as
             // failed so they are counted, never silently dropped
             ctx.metrics.add("engine.failed", batch.len() as u64);
+            for r in &batch {
+                ctx.slo.bad(r.arrival_ms);
+            }
             lock::recover(ctx.failed).extend(batch.iter().cloned());
         }
     }
@@ -729,6 +783,13 @@ fn worker_loop(w: usize, ctx: &Ctx) {
 /// `engine.shed`/`engine.deadline_expired`/`engine.device_faults`/
 /// `engine.retries`/`engine.degraded_batches`/`engine.breaker_trips`/
 /// `engine.breaker_recoveries`/`engine.worker_panics`.
+///
+/// Every span of a sampled request carries its [`TraceContext`]
+/// (deterministically derived from the request id unless the request
+/// supplied one), SLO accounting runs on the simulated clock
+/// (`engine.slo.*` gauges; completed = good, shed/expired/failed = bad),
+/// and device utilization lands in `engine.device_idle_fraction` /
+/// `engine.lane_utilization.N` gauges plus the report.
 pub fn serve(
     compiled: &CompiledModel,
     mut requests: Vec<InferenceRequest>,
@@ -753,6 +814,10 @@ pub fn serve(
     let breaker = Mutex::new(Breaker::new());
     let degraded = OnceLock::new();
     let tally = FaultTally::default();
+    let slo = SloTracker::new(SloConfig {
+        objective: cfg.slo_objective,
+        window_ms: cfg.slo_window_ms,
+    });
     let mut shed = Vec::new();
 
     let ctx = Ctx {
@@ -770,6 +835,7 @@ pub fn serve(
         breaker: &breaker,
         degraded: &degraded,
         tally: &tally,
+        slo: &slo,
     };
 
     std::thread::scope(|scope| {
@@ -784,6 +850,7 @@ pub fn serve(
                 Admission::Accepted => {}
                 Admission::Shed(r) | Admission::Closed(r) => {
                     metrics.inc("engine.shed");
+                    slo.bad(r.arrival_ms);
                     shed.push(r);
                 }
             }
@@ -799,6 +866,9 @@ pub fn serve(
     let failed = failed.into_inner().unwrap_or_else(|p| p.into_inner());
     let breaker = breaker.into_inner().unwrap_or_else(|p| p.into_inner());
     let makespan_ms = timeline.makespan_ms();
+    let device_idle_fraction = timeline.idle_fraction();
+    let lane_utilization = timeline.utilizations();
+    let slo_summary = slo.publish(metrics, "engine.slo", makespan_ms);
     let report = ServeReport {
         results,
         batches: batches.load(Ordering::Relaxed),
@@ -814,10 +884,17 @@ pub fn serve(
         breaker_trips: breaker.trips,
         breaker_recoveries: breaker.recoveries,
         worker_panics: tally.worker_panics.load(Ordering::Relaxed),
+        device_idle_fraction,
+        lane_utilization,
+        slo: slo_summary,
     };
     metrics.set_gauge("engine.makespan_ms", makespan_ms);
     metrics.set_gauge("engine.throughput_rps", report.throughput_rps());
     metrics.set_gauge("engine.breaker_state", breaker.gauge());
+    metrics.set_gauge("engine.device_idle_fraction", device_idle_fraction);
+    for (lane, u) in report.lane_utilization.iter().enumerate() {
+        metrics.set_gauge(&format!("engine.lane_utilization.{lane}"), *u);
+    }
     report
 }
 
@@ -847,6 +924,7 @@ pub fn uniform_requests(
             id: i,
             shape: shape.clone(),
             arrival_ms: i as f64 * interval_ms,
+            trace: None,
         })
         .collect()
 }
@@ -860,6 +938,7 @@ mod tests {
             id,
             shape: Shape(dims.to_vec()),
             arrival_ms,
+            trace: None,
         }
     }
 

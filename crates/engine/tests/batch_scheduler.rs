@@ -65,6 +65,7 @@ fn req(id: usize, dims: &[usize], arrival_ms: f64) -> InferenceRequest {
         id,
         shape: Shape(dims.to_vec()),
         arrival_ms,
+        trace: None,
     }
 }
 

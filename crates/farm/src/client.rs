@@ -8,7 +8,7 @@ use crate::proto::{read_frame, write_frame, Frame};
 use std::net::TcpStream;
 use std::time::Duration;
 use unigpu_device::DeviceSpec;
-use unigpu_telemetry::{tel_debug, tel_info};
+use unigpu_telemetry::{tel_debug, tel_info, TraceContext};
 use unigpu_tuner::{DispatchError, Dispatcher, TuneJob, TuneOutcome, TuningBudget};
 
 /// Client half of the farm protocol; implements [`Dispatcher`].
@@ -16,16 +16,24 @@ use unigpu_tuner::{DispatchError, Dispatcher, TuneJob, TuneOutcome, TuningBudget
 pub struct FarmClient {
     addr: String,
     poll: Duration,
+    trace: Option<TraceContext>,
 }
 
 impl FarmClient {
     pub fn new(addr: impl Into<String>) -> Self {
-        FarmClient { addr: addr.into(), poll: Duration::from_millis(50) }
+        FarmClient { addr: addr.into(), poll: Duration::from_millis(50), trace: None }
     }
 
     /// Override the batch-status poll interval (tests shorten it).
     pub fn poll_interval(mut self, poll: Duration) -> Self {
         self.poll = poll;
+        self
+    }
+
+    /// Attach the originating operation's trace context: every submit
+    /// carries it, and the tracker's lease spans become children of it.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -47,8 +55,12 @@ impl Dispatcher for FarmClient {
     ) -> Result<Vec<TuneOutcome>, DispatchError> {
         let mut stream = TcpStream::connect(&self.addr)?;
         let _ = stream.set_nodelay(true);
-        let submit =
-            Frame::Submit { device: spec.name.clone(), budget: *budget, jobs: jobs.to_vec() };
+        let submit = Frame::Submit {
+            device: spec.name.clone(),
+            budget: *budget,
+            jobs: jobs.to_vec(),
+            trace: self.trace.map(|t| t.encode()),
+        };
         write_frame(&mut stream, &submit)?;
         let batch_id = match read_frame(&mut stream)? {
             Frame::SubmitAck { batch_id } => batch_id,

@@ -39,6 +39,13 @@ pub enum Frame {
         batch_id: u64,
         budget: TuningBudget,
         job: TuneJob,
+        /// Per-lease trace context in [`TraceContext::encode`] wire form
+        /// (a child of the submitting batch's trace). Optional so old
+        /// peers interoperate; malformed values are ignored, never fatal.
+        ///
+        /// [`TraceContext::encode`]: unigpu_telemetry::TraceContext::encode
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<String>,
     },
     /// Nothing queued for this worker's device right now.
     NoWork,
@@ -62,6 +69,14 @@ pub enum Frame {
         device: String,
         budget: TuningBudget,
         jobs: Vec<TuneJob>,
+        /// Trace context of the originating compile/tune, in
+        /// [`TraceContext::encode`] wire form. The tracker derives one
+        /// child context per leased job from it, so remote lease spans
+        /// stitch into the submitter's trace.
+        ///
+        /// [`TraceContext::encode`]: unigpu_telemetry::TraceContext::encode
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<String>,
     },
     SubmitAck { batch_id: u64 },
     /// A client asks how its batch is doing.
@@ -140,6 +155,50 @@ mod tests {
         for f in &frames {
             assert_eq!(&read_frame(&mut cur).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn frames_without_a_trace_field_still_parse() {
+        // an old peer's Submit/Lease has no "trace" key; serde(default)
+        // must fill None instead of rejecting the frame
+        let body = br#"{"type":"submit","device":"cpu","budget":{"trials_per_workload":1,"noise":0.0,"seed":1,"graph_candidates":1},"jobs":[]}"#;
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        match read_frame(&mut Cursor::new(buf)) {
+            Ok(Frame::Submit { trace, device, .. }) => {
+                assert_eq!(trace, None);
+                assert_eq!(device, "cpu");
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_field_round_trips_and_is_omitted_when_none() {
+        let ctx = unigpu_telemetry::TraceContext::from_seed(11);
+        let f = Frame::Submit {
+            device: "gpu".into(),
+            budget: TuningBudget::default(),
+            jobs: vec![],
+            trace: Some(ctx.encode()),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(&buf[..])).unwrap(), f);
+        assert!(String::from_utf8_lossy(&buf).contains(&ctx.encode()));
+
+        let bare = Frame::Submit {
+            device: "gpu".into(),
+            budget: TuningBudget::default(),
+            jobs: vec![],
+            trace: None,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bare).unwrap();
+        assert!(
+            !String::from_utf8_lossy(&buf).contains("trace"),
+            "None must not serialize a key old peers would reject"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use unigpu_telemetry::{
     tel_debug, tel_info, tel_warn, ChromeTrace, MetricsRegistry, SpanRecord, SpanRecorder,
+    TraceContext,
 };
 use unigpu_tuner::{TuneJob, TuneOutcome, TuningBudget};
 
@@ -79,6 +80,9 @@ struct LeaseInfo {
     deadline: Instant,
     retries: usize,
     granted_us: f64,
+    /// Child of the submitting batch's trace, derived per job index at
+    /// grant time — lease spans stitch into the submitter's trace.
+    trace: Option<TraceContext>,
 }
 
 struct BatchInfo {
@@ -88,6 +92,9 @@ struct BatchInfo {
     /// First outcome per job index wins; later copies are duplicates.
     outcomes: HashMap<usize, TuneOutcome>,
     failures: Vec<String>,
+    /// Trace context the submitting client sent (parsed from the wire
+    /// form; a malformed value degrades to `None`, never an error).
+    trace: Option<TraceContext>,
 }
 
 struct WorkerInfo {
@@ -297,7 +304,9 @@ impl Shared {
             Frame::Result { worker_id, lease_id, batch_id, outcome } => {
                 self.on_result(worker_id, lease_id, batch_id, *outcome)
             }
-            Frame::Submit { device, budget, jobs } => self.on_submit(device, budget, jobs),
+            Frame::Submit { device, budget, jobs, trace } => {
+                self.on_submit(device, budget, jobs, trace)
+            }
             Frame::Poll { batch_id } => self.on_poll(batch_id),
             other => {
                 self.metrics.inc("farm.protocol_errors");
@@ -337,6 +346,7 @@ impl Shared {
                 continue;
             }
             let budget = batch.budget;
+            let lease_trace = batch.trace.map(|t| t.child(queued.job.index as u64));
             let lease_id = st.next_lease;
             st.next_lease += 1;
             let deadline = Instant::now() + self.cfg.lease;
@@ -349,6 +359,7 @@ impl Shared {
                     deadline,
                     retries: queued.retries,
                     granted_us: self.spans.now_us(),
+                    trace: lease_trace,
                 },
             );
             self.metrics.inc("farm.leases_granted");
@@ -358,7 +369,13 @@ impl Shared {
                 queued.job.index,
                 queued.job.workload.key()
             );
-            return Frame::Lease { lease_id, batch_id: queued.batch_id, budget, job: queued.job };
+            return Frame::Lease {
+                lease_id,
+                batch_id: queued.batch_id,
+                budget,
+                job: queued.job,
+                trace: lease_trace.map(|t| t.encode()),
+            };
         }
     }
 
@@ -427,12 +444,19 @@ impl Shared {
                     ("status".into(), if duplicate { "duplicate".into() } else { "ok".into() }),
                     ("retries".into(), lease.retries.to_string()),
                 ],
+                trace: lease.trace,
             });
         }
         Frame::ResultAck { duplicate }
     }
 
-    fn on_submit(&self, device: String, budget: TuningBudget, jobs: Vec<TuneJob>) -> Frame {
+    fn on_submit(
+        &self,
+        device: String,
+        budget: TuningBudget,
+        jobs: Vec<TuneJob>,
+        trace: Option<String>,
+    ) -> Frame {
         let mut st = self.state.lock().expect("tracker state poisoned");
         let batch_id = st.next_batch;
         st.next_batch += 1;
@@ -445,6 +469,7 @@ impl Shared {
                 total,
                 outcomes: HashMap::new(),
                 failures: Vec::new(),
+                trace: trace.as_deref().and_then(TraceContext::parse),
             },
         );
         let q = st.queues.entry(device.clone()).or_default();
@@ -526,6 +551,7 @@ impl Shared {
                 ("status".into(), reason.to_string()),
                 ("retries".into(), lease.retries.to_string()),
             ],
+            trace: lease.trace,
         });
         let Some(batch) = st.batches.get_mut(&lease.batch_id) else { return };
         if batch.outcomes.contains_key(&lease.job.index) {

@@ -168,7 +168,7 @@ fn session_loop(
     loop {
         let reply = lock(conn).rpc(&Frame::RequestJob { worker_id })?;
         match reply {
-            Frame::Lease { lease_id, batch_id, budget, job } => {
+            Frame::Lease { lease_id, batch_id, budget, job, .. } => {
                 idle = 0;
                 if lock(conn).faults.lease_started() {
                     tel_warn!(

@@ -77,6 +77,40 @@ fn farm_loopback_matches_serial_dispatch() {
 }
 
 #[test]
+fn lease_spans_stitch_into_the_submitters_trace() {
+    use unigpu_telemetry::TraceContext;
+    let handle = spawn_tracker(TrackerConfig::default());
+    let addr = handle.addr().to_string();
+    let _w = spawn_worker(addr.clone(), "traced", FaultPlan::default());
+
+    let jobs = test_jobs();
+    let root = TraceContext::from_seed(0xfeed);
+    let client = FarmClient::new(addr)
+        .poll_interval(Duration::from_millis(10))
+        .with_trace(root);
+    client.dispatch(&jobs, &spec(), &budget()).expect("traced dispatch succeeds");
+
+    let spans = handle.spans().spans();
+    let lease_spans: Vec<_> = spans.iter().filter(|s| s.category == "farm.lease").collect();
+    assert_eq!(lease_spans.len(), jobs.len(), "one lease span per job");
+    for s in &lease_spans {
+        let ctx = s.trace.expect("lease span carries the trace");
+        assert_eq!(
+            ctx.trace_id, root.trace_id,
+            "remote lease spans share the submitting compile's trace id"
+        );
+        assert_ne!(ctx.span_id, root.span_id, "each lease is its own hop");
+    }
+    // span ids are the deterministic per-job children of the root
+    let expected: std::collections::HashSet<u64> =
+        (0..jobs.len()).map(|i| root.child(i as u64).span_id).collect();
+    let got: std::collections::HashSet<u64> =
+        lease_spans.iter().map(|s| s.trace.unwrap().span_id).collect();
+    assert_eq!(got, expected);
+    handle.stop();
+}
+
+#[test]
 fn malformed_frames_do_not_kill_the_tracker() {
     let handle = spawn_tracker(TrackerConfig::default());
     let addr = handle.addr();
@@ -208,7 +242,12 @@ fn duplicate_result_frames_are_idempotent() {
     let jobs = vec![test_jobs()[0]];
     write_frame(
         &mut client,
-        &Frame::Submit { device: spec().name.clone(), budget: budget(), jobs: jobs.clone() },
+        &Frame::Submit {
+            device: spec().name.clone(),
+            budget: budget(),
+            jobs: jobs.clone(),
+            trace: None,
+        },
     )
     .unwrap();
     let batch_id = match read_frame(&mut client).unwrap() {

@@ -151,6 +151,7 @@ impl Executor {
                         ("op".into(), node.op.name().into()),
                         ("shape".into(), format!("{:?}", out.shape().dims())),
                     ],
+                    trace: None,
                 });
             }
             values[id] = Some(out);

@@ -322,6 +322,7 @@ fn estimate_latency_impl(
                 dur_us: ms * 1000.0,
                 lane,
                 attrs,
+                trace: None,
             });
             metrics.inc("exec.nodes");
             if is_copy {

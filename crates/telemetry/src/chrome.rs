@@ -114,19 +114,26 @@ impl ChromeTrace {
     }
 
     /// Convert recorded spans into duration events (lane → `tid`, attrs →
-    /// `args`).
+    /// `args`). Traced spans additionally carry `trace_id`/`span_id` args so
+    /// every hop of one request is greppable/clickable in the viewer.
     pub fn add_spans(&mut self, spans: &[SpanRecord]) {
         for s in spans {
+            let mut args: Vec<(String, ArgValue)> = s
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), ArgValue::Str(v.clone())))
+                .collect();
+            if let Some(ctx) = s.trace {
+                args.push(("trace_id".into(), ArgValue::Str(ctx.trace_hex())));
+                args.push(("span_id".into(), ArgValue::Str(ctx.span_hex())));
+            }
             self.duration(
                 s.name.clone(),
                 s.category.clone(),
                 s.start_us,
                 s.dur_us,
                 s.lane,
-                s.attrs
-                    .iter()
-                    .map(|(k, v)| (k.clone(), ArgValue::Str(v.clone())))
-                    .collect(),
+                args,
             );
         }
     }
@@ -237,6 +244,7 @@ mod tests {
             dur_us: dur,
             lane,
             attrs: vec![("op".into(), "conv2d".into())],
+            trace: None,
         }
     }
 
@@ -257,6 +265,24 @@ mod tests {
         }
         assert!(s.starts_with("{\"traceEvents\":["));
         assert!(s.contains("\"op\":\"conv2d\""));
+    }
+
+    #[test]
+    fn traced_spans_export_their_ids_as_args() {
+        use crate::trace::TraceContext;
+        let ctx = TraceContext::from_seed(9);
+        let mut traced = span("traced", 0.0, 1.0, 0);
+        traced.trace = Some(ctx);
+        let mut t = ChromeTrace::new();
+        t.add_spans(&[traced, span("plain", 1.0, 1.0, 0)]);
+        let s = t.to_json();
+        assert!(s.contains(&format!("\"trace_id\":\"{}\"", ctx.trace_hex())));
+        assert!(s.contains(&format!("\"span_id\":\"{}\"", ctx.span_hex())));
+        assert_eq!(
+            s.matches("\"trace_id\"").count(),
+            1,
+            "untraced spans stay clean"
+        );
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Metrics exposition: Prometheus text format, a JSON variant, and a
+//! std-only TCP endpoint serving both.
+//!
+//! [`to_prometheus`] renders a [`MetricsSnapshot`] in the Prometheus text
+//! exposition format (`# TYPE` comments, cumulative `_bucket{le="..."}`
+//! series with exact `_sum`/`_count` from the log-scale histograms);
+//! [`to_json`] renders the same snapshot as one JSON object for tooling
+//! that would rather not parse the text format. [`MetricsServer`] binds a
+//! `TcpListener` (port 0 supported) and answers
+//!
+//! * `GET /metrics` — Prometheus text (`text/plain; version=0.0.4`)
+//! * `GET /metrics.json` — the JSON variant (`application/json`)
+//!
+//! over minimal HTTP/1.0 — curl, a Prometheus scraper, and bash's
+//! `/dev/tcp` all work. The server reads a live [`MetricsRegistry`] handle,
+//! so a scrape mid-run sees the counters as they are at that instant; the
+//! registry's poison-recovering locks mean a panicked worker thread can
+//! never wedge a scrape.
+
+use crate::json;
+use crate::metrics::{bucket_bounds, MetricsRegistry, MetricsSnapshot};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sanitize a metric name for Prometheus: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+/// Dotted names (`engine.latency_ms`) become underscored
+/// (`engine_latency_ms`).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format. Histograms
+/// emit cumulative `_bucket{le="<upper>"}` series over the fixed log₂
+/// bucket layout (plus the mandatory `le="+Inf"`), with exact `_sum` and
+/// `_count`.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", fmt_f64(*v)));
+    }
+    for (name, h) in &snap.raw_histograms {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cumulative += c;
+            // skip long empty runs but keep every boundary that changes the
+            // cumulative count, plus the first and last for shape
+            if c == 0 && i != 0 && i != h.buckets.len() - 1 {
+                continue;
+            }
+            let (_, hi) = bucket_bounds(i);
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                fmt_f64(hi)
+            ));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+/// Render a snapshot as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{"name":{count,sum,mean,
+/// min,max,p50,p95,p99,"buckets":[{"le":hi,"count":cumulative},...]}}}`.
+/// Buckets with no observations are omitted; counts are cumulative like the
+/// Prometheus form.
+pub fn to_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    json::write_key(&mut out, "counters");
+    out.push('{');
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_key(&mut out, name);
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},");
+    json::write_key(&mut out, "gauges");
+    out.push('{');
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_key(&mut out, name);
+        json::write_f64(&mut out, *v);
+    }
+    out.push_str("},");
+    json::write_key(&mut out, "histograms");
+    out.push('{');
+    for (i, (name, h)) in snap.raw_histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_key(&mut out, name);
+        out.push('{');
+        let s = h.summary();
+        for (key, v) in [
+            ("sum", s.sum),
+            ("mean", s.mean),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p95", s.p95),
+            ("p99", s.p99),
+        ] {
+            json::write_key(&mut out, key);
+            json::write_f64(&mut out, v);
+            out.push(',');
+        }
+        json::write_key(&mut out, "count");
+        out.push_str(&s.count.to_string());
+        out.push(',');
+        json::write_key(&mut out, "buckets");
+        out.push('[');
+        let mut cumulative = 0u64;
+        let mut first = true;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            cumulative += c;
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (_, hi) = bucket_bounds(b);
+            out.push('{');
+            json::write_key(&mut out, "le");
+            json::write_f64(&mut out, hi);
+            out.push(',');
+            json::write_key(&mut out, "count");
+            out.push_str(&cumulative.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A background thread serving `GET /metrics` (Prometheus text) and
+/// `GET /metrics.json` from a live registry handle. Dropped or
+/// [`MetricsServer::stop`]ped, the listener shuts down within one poll
+/// tick.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 picks an ephemeral port) and serve scrapes of
+    /// `registry` until stopped.
+    pub fn spawn(addr: impl ToSocketAddrs, registry: MetricsRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = serve_one(stream, &registry);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        });
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the listener down and join the serving thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answer one HTTP request on `stream` and close it. Only the request line
+/// matters; headers are read and discarded.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    let mut buf = [0u8; 2048];
+    let mut filled = 0usize;
+    // read until the end of the request line (headers may follow; a short
+    // HTTP/1.0 request may also close early — both are fine)
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(1).any(|w| w == b"\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_string();
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus(&registry.snapshot()),
+        ),
+        "/metrics.json" | "/json" => ("200 OK", "application/json", to_json(&registry.snapshot())),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+// JSON-validity and end-to-end scrape tests live in
+// `tests/exposition.rs` (they use the serde_json dev-dependency; the
+// src tree stays std-only so `rustc --test src/lib.rs` works bare).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let m = MetricsRegistry::new();
+        m.add("engine.requests", 48);
+        m.set_gauge("engine.throughput_rps", 123.5);
+        for v in [1.0, 2.0, 4.0, 4.5] {
+            m.observe("engine.latency_ms", v);
+        }
+        m
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("engine.latency_ms"), "engine_latency_ms");
+        assert_eq!(sanitize_name("0bad"), "_bad");
+        assert_eq!(sanitize_name("ok:name_9"), "ok:name_9");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_text_has_types_sums_and_cumulative_buckets() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE engine_requests counter"));
+        assert!(text.contains("engine_requests 48"));
+        assert!(text.contains("# TYPE engine_throughput_rps gauge"));
+        assert!(text.contains("engine_throughput_rps 123.5"));
+        assert!(text.contains("# TYPE engine_latency_ms histogram"));
+        assert!(text.contains("engine_latency_ms_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("engine_latency_ms_count 4"));
+        assert!(text.contains("engine_latency_ms_sum 11.5"));
+        // cumulative counts never decrease
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("engine_latency_ms_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotonic bucket line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        assert_eq!(to_prometheus(&MetricsRegistry::new().snapshot()), "");
+    }
+}

@@ -3,7 +3,11 @@
 //! JSON-safe float formatting.
 
 /// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+/// Every control character below 0x20 is escaped (`\n`/`\r`/`\t` short
+/// forms, `\u00XX` otherwise) — RFC 8259 requires all of them, not just the
+/// common three.
 pub fn write_str(out: &mut String, s: &str) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
     out.push('"');
     for c in s.chars() {
         match c {
@@ -13,7 +17,10 @@ pub fn write_str(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let b = c as u32;
+                out.push_str("\\u00");
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0xf) as usize] as char);
             }
             c => out.push(c),
         }
@@ -53,6 +60,34 @@ mod tests {
     fn escapes_specials() {
         assert_eq!(s(|o| write_str(o, "a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(s(|o| write_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn escapes_every_control_char_below_0x20() {
+        for b in 0u32..0x20 {
+            let c = char::from_u32(b).unwrap();
+            let emitted = s(|o| write_str(o, &c.to_string()));
+            let expected = match c {
+                '\n' => "\"\\n\"".to_string(),
+                '\r' => "\"\\r\"".to_string(),
+                '\t' => "\"\\t\"".to_string(),
+                _ => format!("\"\\u{b:04x}\""),
+            };
+            assert_eq!(emitted, expected, "control char 0x{b:02x}");
+            // the emitted literal must contain no raw control bytes
+            assert!(
+                emitted.bytes().all(|byte| byte >= 0x20),
+                "raw byte leaked for 0x{b:02x}"
+            );
+        }
+    }
+
+    #[test]
+    fn multibyte_and_boundary_chars_pass_through() {
+        assert_eq!(
+            s(|o| write_str(o, "héllo ✓ \u{20}\u{7f}")),
+            "\"héllo ✓ \u{20}\u{7f}\""
+        );
     }
 
     #[test]

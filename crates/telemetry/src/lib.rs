@@ -19,6 +19,17 @@
 //! * [`chrome`] — a **Chrome trace-event JSON exporter** (`ph: "X"` duration
 //!   and `ph: "C"` counter events in catapult format) loadable in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`trace`] — deterministic **request-scoped trace contexts**
+//!   (SplitMix64-derived ids, no RNG/clock) that spans carry across threads
+//!   and the farm's TCP frames, stitching one request's queue/batch/retry/
+//!   lease story back together in the Chrome export.
+//! * [`slo`] — **SLO accounting** on caller-supplied (simulated or wall)
+//!   clocks: windowed error rates, burn rate against the error budget,
+//!   published as `*.slo.*` gauges.
+//! * [`export`] — **metrics exposition**: Prometheus text format, a JSON
+//!   variant, and a std-only TCP scrape endpoint ([`export::MetricsServer`]).
+//! * [`lock`] — **poison-recovering lock acquisition**, shared by every
+//!   layer so one panicking thread can never wedge observability.
 //!
 //! This crate is intentionally dependency-free (std only) so it can sit
 //! below `unigpu-device` in the workspace graph.
@@ -27,12 +38,19 @@
 //! [`Timeline`]: https://docs.rs/unigpu-device
 
 pub mod chrome;
+pub mod export;
 pub mod json;
+pub mod lock;
 pub mod log;
 pub mod metrics;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use chrome::{ArgValue, ChromeTrace, TraceEvent};
+pub use export::{to_json, to_prometheus, MetricsServer};
 pub use log::{JsonlSink, Level, LogRecord, LogSink, Logger, StderrSink};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use slo::{SloConfig, SloSummary, SloTracker};
 pub use span::{SpanGuard, SpanRecord, SpanRecorder};
+pub use trace::TraceContext;

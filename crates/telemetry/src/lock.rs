@@ -1,0 +1,44 @@
+//! Poison-recovering lock acquisition, shared by every layer.
+//!
+//! A panicking thread poisons every `Mutex` it holds; the default
+//! `lock().expect(..)` response turns one bad request into a permanently
+//! wedged process — every later lock attempt panics too. For our use sites
+//! (metric registries, span buffers, queues, timelines) the guarded state
+//! stays structurally valid even when a holder panicked mid-update, because
+//! updates are single-call appends/increments, so the right response is to
+//! clear the poison and keep going. This lives in the telemetry crate (the
+//! lowest layer of the workspace) so the engine, the farm, and telemetry
+//! itself share one implementation — a panicking serving worker must never
+//! wedge metric reads.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering (and clearing) poison instead of propagating the
+/// original holder's panic into this thread.
+pub fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        m.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn recover_survives_a_poisoning_panic() {
+        let m = Mutex::new(7usize);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("holder dies mid-critical-section");
+        }));
+        assert!(r.is_err());
+        assert!(m.is_poisoned());
+        // a plain lock() would now return Err forever; recover() keeps going
+        *recover(&m) += 1;
+        assert_eq!(*recover(&m), 8);
+        assert!(!m.is_poisoned(), "poison cleared on first recovery");
+    }
+}

@@ -148,7 +148,9 @@ impl Filter {
             }
         }
         // longest prefix first
-        filter.overrides.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        filter
+            .overrides
+            .sort_by_key(|o| std::cmp::Reverse(o.0.len()));
         filter
     }
 

@@ -4,6 +4,7 @@
 //! the tuner, and the CLI can update the same counters without plumbing
 //! mutable references through every layer.
 
+use crate::lock;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -90,6 +91,20 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram into this one. Snapshots taken from
+    /// different registries (per-worker, per-replica, per-process) merge
+    /// exactly: bucket counts and sums add, extremes combine — the merged
+    /// histogram is identical to one that observed both streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -136,6 +151,47 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Full bucket data per histogram (same names and order as
+    /// `histograms`) — what the exposition endpoint and snapshot merging
+    /// consume; the summaries above are the quick-read digest.
+    pub raw_histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Merge `other` into this snapshot: counters and histogram buckets
+    /// add; on a gauge collision `other` (the newer reading) wins.
+    /// Histogram summaries are recomputed from the merged buckets, so
+    /// merged percentiles are exactly what one combined registry would
+    /// report.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, f64> = self.gauges.drain(..).collect();
+        for (k, v) in &other.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut hists: BTreeMap<String, Histogram> = self.raw_histograms.drain(..).collect();
+        for (k, h) in &other.raw_histograms {
+            match hists.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    hists.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        self.raw_histograms = hists.into_iter().collect();
+        self.histograms = self
+            .raw_histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+    }
 }
 
 impl MetricsRegistry {
@@ -145,7 +201,7 @@ impl MetricsRegistry {
 
     /// Add `delta` to a monotonic counter.
     pub fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock::recover(&self.inner);
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
@@ -155,24 +211,24 @@ impl MetricsRegistry {
     }
 
     pub fn counter(&self, name: &str) -> u64 {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock::recover(&self.inner);
         inner.counters.get(name).copied().unwrap_or(0)
     }
 
     /// Set a gauge to an instantaneous value.
     pub fn set_gauge(&self, name: &str, v: f64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock::recover(&self.inner);
         inner.gauges.insert(name.to_string(), v);
     }
 
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock::recover(&self.inner);
         inner.gauges.get(name).copied()
     }
 
     /// Record one observation into a log-scale histogram.
     pub fn observe(&self, name: &str, v: f64) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock::recover(&self.inner);
         inner
             .histograms
             .entry(name.to_string())
@@ -181,12 +237,12 @@ impl MetricsRegistry {
     }
 
     pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock::recover(&self.inner);
         inner.histograms.get(name).map(|h| h.summary())
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock::recover(&self.inner);
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -198,6 +254,11 @@ impl MetricsRegistry {
                 .histograms
                 .iter()
                 .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            raw_histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
                 .collect(),
         }
     }
@@ -287,5 +348,76 @@ mod tests {
         h.observe(f64::NAN);
         h.observe(f64::INFINITY);
         assert_eq!(h.count, 0);
+    }
+
+    #[test]
+    fn merged_histogram_equals_combined_stream() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut combined = Histogram::default();
+        for v in [0.5, 1.0, 2.0] {
+            a.observe(v);
+            combined.observe(v);
+        }
+        for v in [4.0, 8.0, 16.0, 32.0] {
+            b.observe(v);
+            combined.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, combined.buckets);
+        assert_eq!(a.count, combined.count);
+        assert_eq!(a.summary(), combined.summary());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_rebuilds_summaries() {
+        let m1 = MetricsRegistry::new();
+        let m2 = MetricsRegistry::new();
+        m1.add("reqs", 3);
+        m2.add("reqs", 4);
+        m2.add("only2", 1);
+        m1.set_gauge("g", 1.0);
+        m2.set_gauge("g", 2.0);
+        m1.observe("lat", 1.0);
+        m2.observe("lat", 64.0);
+        let mut s = m1.snapshot();
+        s.merge(&m2.snapshot());
+        assert!(s.counters.contains(&("reqs".into(), 7)));
+        assert!(s.counters.contains(&("only2".into(), 1)));
+        assert!(s.gauges.contains(&("g".into(), 2.0)), "newer gauge wins");
+        let (_, lat) = s.histograms.iter().find(|(k, _)| k == "lat").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 65.0);
+        assert_eq!(lat.min, 1.0);
+        assert_eq!(lat.max, 64.0);
+    }
+
+    #[test]
+    fn snapshot_carries_raw_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe("h", 3.0);
+        m.observe("h", 3.0);
+        let s = m.snapshot();
+        let (_, raw) = s.raw_histograms.iter().find(|(k, _)| k == "h").unwrap();
+        assert_eq!(raw.count, 2);
+        assert_eq!(raw.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let m = MetricsRegistry::new();
+        m.inc("before");
+        let m2 = m.clone();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = lock::recover(&m2.inner);
+            panic!("holder dies inside the registry lock");
+        }));
+        // a panicking metric writer must never wedge metric reads
+        assert_eq!(m.counter("before"), 1);
+        m.inc("after");
+        m.observe("h", 1.0);
+        assert_eq!(m.counter("after"), 1);
+        assert_eq!(m.snapshot().histograms.len(), 1);
     }
 }

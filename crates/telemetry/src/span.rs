@@ -5,6 +5,8 @@
 //! guard with `Instant`) and the *simulated* clock of the cost model (via
 //! [`SpanRecorder::record`], with timestamps supplied by the caller).
 
+use crate::lock;
+use crate::trace::TraceContext;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -24,6 +26,11 @@ pub struct SpanRecord {
     pub lane: u32,
     /// Free-form key/value attributes (op kind, shapes, device, ...).
     pub attrs: Vec<(String, String)>,
+    /// The request/operation this span belongs to, if it was emitted on
+    /// behalf of a traced operation. Exporters surface the ids so all spans
+    /// of one request — including ones recorded by a remote farm peer — can
+    /// be stitched back together.
+    pub trace: Option<TraceContext>,
 }
 
 #[derive(Debug)]
@@ -61,11 +68,7 @@ impl SpanRecorder {
 
     /// Record an already-timed span (simulated-clock path).
     pub fn record(&self, span: SpanRecord) {
-        self.inner
-            .spans
-            .lock()
-            .expect("span recorder poisoned")
-            .push(span);
+        lock::recover(&self.inner.spans).push(span);
     }
 
     /// Start a wall-clock span; it is recorded when the guard drops.
@@ -83,24 +86,17 @@ impl SpanRecorder {
             start: Instant::now(),
             start_us: self.now_us(),
             attrs: Vec::new(),
+            trace: None,
         }
     }
 
     /// Snapshot of all recorded spans, in recording order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner
-            .spans
-            .lock()
-            .expect("span recorder poisoned")
-            .clone()
+        lock::recover(&self.inner.spans).clone()
     }
 
     pub fn len(&self) -> usize {
-        self.inner
-            .spans
-            .lock()
-            .expect("span recorder poisoned")
-            .len()
+        lock::recover(&self.inner.spans).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -109,11 +105,7 @@ impl SpanRecorder {
 
     /// Drop all recorded spans (keeps the epoch).
     pub fn clear(&self) {
-        self.inner
-            .spans
-            .lock()
-            .expect("span recorder poisoned")
-            .clear();
+        lock::recover(&self.inner.spans).clear();
     }
 }
 
@@ -127,12 +119,19 @@ pub struct SpanGuard<'a> {
     start: Instant,
     start_us: f64,
     attrs: Vec<(String, String)>,
+    trace: Option<TraceContext>,
 }
 
 impl SpanGuard<'_> {
     /// Attach a key/value attribute to the span.
     pub fn attr(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
         self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Tag the span with the trace context of the operation it serves.
+    pub fn trace(&mut self, ctx: TraceContext) -> &mut Self {
+        self.trace = Some(ctx);
         self
     }
 }
@@ -146,6 +145,7 @@ impl Drop for SpanGuard<'_> {
             dur_us: self.start.elapsed().as_secs_f64() * 1e6,
             lane: self.lane,
             attrs: std::mem::take(&mut self.attrs),
+            trace: self.trace.take(),
         });
     }
 }
@@ -180,11 +180,40 @@ mod tests {
             dur_us: 50.0,
             lane: 3,
             attrs: vec![],
+            trace: None,
         });
         let spans = rec.spans();
         assert_eq!(spans[0].start_us, 100.0);
         assert_eq!(spans[0].dur_us, 50.0);
         assert_eq!(spans[0].lane, 3);
+    }
+
+    #[test]
+    fn guards_carry_their_trace_context() {
+        let rec = SpanRecorder::new();
+        let ctx = TraceContext::from_seed(5);
+        {
+            let mut g = rec.scope("traced", "test", 0);
+            g.trace(ctx);
+        }
+        rec.scope("untraced", "test", 0);
+        let spans = rec.spans();
+        assert_eq!(spans[0].trace, Some(ctx));
+        assert_eq!(spans[1].trace, None);
+    }
+
+    #[test]
+    fn recorder_survives_a_poisoned_span_buffer() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let rec = SpanRecorder::new();
+        let r2 = rec.clone();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = lock::recover(&r2.inner.spans);
+            panic!("holder dies while appending");
+        }));
+        rec.scope("after-poison", "test", 0);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.spans()[0].name, "after-poison");
     }
 
     #[test]

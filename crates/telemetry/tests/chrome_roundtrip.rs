@@ -21,6 +21,7 @@ fn recorded_run() -> (SpanRecorder, MetricsRegistry) {
                 ("op".into(), "conv2d".into()),
                 ("device".into(), "Gpu".into()),
             ],
+            trace: None,
         });
         clock += dur;
         metrics.inc("exec.nodes");
@@ -33,6 +34,7 @@ fn recorded_run() -> (SpanRecorder, MetricsRegistry) {
         dur_us: 15.0,
         lane: 2,
         attrs: vec![("bytes".into(), "4096".into())],
+        trace: None,
     });
     metrics.inc("exec.device_copies");
     (spans, metrics)

@@ -1,0 +1,76 @@
+//! End-to-end tests of the metrics exposition layer: JSON validity of
+//! the `/metrics.json` variant (via serde_json, a dev-dependency the
+//! std-only src tree deliberately avoids) and real TCP scrapes against
+//! a spawned `MetricsServer`.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use unigpu_telemetry::{to_json, MetricsRegistry, MetricsServer};
+
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn sample_registry() -> MetricsRegistry {
+    let m = MetricsRegistry::new();
+    m.add("engine.requests", 48);
+    m.set_gauge("engine.throughput_rps", 123.5);
+    for v in [1.0, 2.0, 4.0, 4.5] {
+        m.observe("engine.latency_ms", v);
+    }
+    m
+}
+
+#[test]
+fn json_variant_is_valid_and_complete() {
+    let out = to_json(&sample_registry().snapshot());
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(v["counters"]["engine.requests"], 48);
+    assert_eq!(v["gauges"]["engine.throughput_rps"], 123.5);
+    let h = &v["histograms"]["engine.latency_ms"];
+    assert_eq!(h["count"], 4);
+    assert_eq!(h["sum"], 11.5);
+    let buckets = h["buckets"].as_array().unwrap();
+    assert!(!buckets.is_empty());
+    assert_eq!(
+        buckets.last().unwrap()["count"],
+        4,
+        "last cumulative = count"
+    );
+}
+
+#[test]
+fn empty_snapshot_json_is_valid() {
+    let out = to_json(&MetricsRegistry::new().snapshot());
+    let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert!(v["counters"].as_object().unwrap().is_empty());
+}
+
+#[test]
+fn server_serves_both_formats_and_404s() {
+    let registry = sample_registry();
+    let server = MetricsServer::spawn("127.0.0.1:0", registry.clone()).unwrap();
+    let addr = server.addr();
+
+    let text = scrape(addr, "/metrics");
+    assert!(text.starts_with("HTTP/1.0 200 OK"));
+    assert!(text.contains("engine_requests 48"));
+
+    // a scrape observes live updates, not a bind-time copy
+    registry.add("engine.requests", 1);
+    assert!(scrape(addr, "/metrics").contains("engine_requests 49"));
+
+    let json_resp = scrape(addr, "/metrics.json");
+    assert!(json_resp.contains("application/json"));
+    let body = json_resp.split("\r\n\r\n").nth(1).unwrap();
+    let v: serde_json::Value = serde_json::from_str(body).unwrap();
+    assert_eq!(v["counters"]["engine.requests"], 49);
+
+    assert!(scrape(addr, "/nope").starts_with("HTTP/1.0 404"));
+    server.stop();
+}

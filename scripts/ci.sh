@@ -154,4 +154,84 @@ grep '^accounting:' "$chaos_tmp/serve.log"
 rm -rf "$chaos_tmp"
 trap - EXIT
 
+echo "==> metrics endpoint smoke test"
+# The chaos serve again, now with the exposition endpoint live: scrape once
+# mid-run and once after drain (--hold-ms keeps the endpoint up past the
+# final report), assert the Prometheus text parses, accounting still
+# balances, and the scraped completion count matches the report.
+metrics_tmp=$(mktemp -d)
+serve_pid=""
+cleanup_metrics() {
+  if [ -n "$serve_pid" ]; then
+    kill "$serve_pid" 2>/dev/null || true
+  fi
+  rm -rf "$metrics_tmp"
+}
+trap cleanup_metrics EXIT
+UNIGPU_DB_DIR="$metrics_tmp/db" \
+  UNIGPU_FAULTS="kernel_fail_first=4,kernel_fail_nth=9,throttle_after_ms=2:1.5,worker_panic_nth=6" \
+  ./target/release/unigpu serve MobileNet1.0 --platform deeplens \
+  --requests 48 --concurrency 2 --batch 4 --queue-cap 64 --deadline-ms 400 \
+  --metrics-addr 127.0.0.1:0 --port-file "$metrics_tmp/addr" --hold-ms 60000 \
+  > "$metrics_tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$metrics_tmp/addr" ] && break
+  sleep 0.1
+done
+if [ ! -s "$metrics_tmp/addr" ]; then
+  echo "error: serve never wrote its metrics port file"
+  cat "$metrics_tmp/serve.log" || true
+  exit 1
+fi
+maddr=$(cat "$metrics_tmp/addr")
+scrape() { # $1 = path, $2 = output file (bash /dev/tcp — no curl needed)
+  exec 3<>"/dev/tcp/${maddr%:*}/${maddr##*:}"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+  cat <&3 > "$2"
+  exec 3<&- 3>&-
+}
+# mid-run scrape: whatever the counters hold right now, the format parses
+scrape /metrics "$metrics_tmp/mid.txt"
+if ! grep -q '^HTTP/1.0 200 OK' "$metrics_tmp/mid.txt"; then
+  echo "error: mid-run scrape did not return 200:"
+  cat "$metrics_tmp/mid.txt"
+  exit 1
+fi
+# wait for the drain (the final accounting line), then scrape the settled state
+for _ in $(seq 1 600); do
+  grep -q '^accounting:' "$metrics_tmp/serve.log" && break
+  sleep 0.1
+done
+if ! grep -q '(0 lost)' "$metrics_tmp/serve.log"; then
+  echo "error: chaos serve with metrics endpoint lost requests:"
+  cat "$metrics_tmp/serve.log"
+  exit 1
+fi
+scrape /metrics "$metrics_tmp/final.txt"
+scrape /metrics.json "$metrics_tmp/final.json"
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+if ! grep -q '^# TYPE engine_latency_ms histogram' "$metrics_tmp/final.txt"; then
+  echo "error: drained scrape is missing the latency histogram:"
+  cat "$metrics_tmp/final.txt"
+  exit 1
+fi
+if ! grep -q '"histograms"' "$metrics_tmp/final.json"; then
+  echo "error: JSON exposition variant missing histograms:"
+  cat "$metrics_tmp/final.json"
+  exit 1
+fi
+completed=$(sed -n 's/^accounting: [0-9]* offered = \([0-9]*\) completed.*/\1/p' "$metrics_tmp/serve.log")
+scraped=$(awk '$1 == "engine_latency_ms_count" { print $2 }' "$metrics_tmp/final.txt")
+scraped_requests=$(awk '$1 == "engine_requests" { print $2 }' "$metrics_tmp/final.txt")
+if [ -z "$completed" ] || [ "$scraped" != "$completed" ] || [ "$scraped_requests" != "$completed" ]; then
+  echo "error: scraped completion count ($scraped / $scraped_requests) != report ($completed)"
+  cat "$metrics_tmp/final.txt"
+  exit 1
+fi
+echo "metrics smoke test: scraped $scraped completions from $maddr, accounting balanced"
+cleanup_metrics
+trap - EXIT
+
 echo "ci: all gates passed"

@@ -7,6 +7,8 @@
 //! unigpu models
 //! unigpu estimate ResNet50_v1 --platform nano --tuned
 //! unigpu serve ResNet50_v1 --platform nano --requests 64 --concurrency 4 --batch 8
+//! unigpu serve ResNet50_v1 --metrics-addr 127.0.0.1:0 --port-file metrics.port --hold-ms 2000
+//! unigpu report MobileNet1.0 --requests 256 --deadline-ms 40
 //! unigpu profile MobileNet1.0 --device intel --trace trace.json
 //! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
 //! unigpu tune SqueezeNet1.0 --jobs 4 --resume
@@ -21,7 +23,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 use unigpu::baselines::baseline_for;
 use unigpu::device::{DeviceFaultPlan, Platform};
-use unigpu::engine::{uniform_requests, ServeConfig, LANE_CONTROL, LANE_WORKER_BASE};
+use unigpu::engine::{uniform_requests, ServeConfig, ServeReport, LANE_CONTROL, LANE_WORKER_BASE};
 use unigpu::graph::latency::{LANE_CPU, LANE_GPU, LANE_TRANSFER};
 use unigpu::graph::passes::optimize;
 use unigpu::graph::{parameter_count, to_dot, Graph, PlacementPolicy};
@@ -31,7 +33,9 @@ use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
 use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
-use unigpu::telemetry::{tel_error, tel_warn, ChromeTrace, MetricsRegistry, SpanRecorder};
+use unigpu::telemetry::{
+    tel_error, tel_warn, ChromeTrace, MetricsRegistry, MetricsServer, SpanRecorder,
+};
 use unigpu::tuner::{
     device_db_path, tune_graph_with, Database, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
     TuningBudget,
@@ -141,11 +145,24 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `unigpu serve <model> --requests N --concurrency K --batch B` — compile
-/// through the artifact cache, then serve a synthetic request stream through
-/// the batch scheduler and report throughput and latency percentiles from
-/// the telemetry metrics.
-fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+/// Everything one serve run produces — shared by `serve` and `report`.
+struct ServeRun {
+    name: String,
+    platform: Platform,
+    concurrency: usize,
+    report: ServeReport,
+    spans: SpanRecorder,
+    metrics: MetricsRegistry,
+    /// Live exposition endpoint (`--metrics-addr`), kept open until the
+    /// command finishes (plus `--hold-ms`, so a scraper can read the
+    /// drained snapshot).
+    server: Option<MetricsServer>,
+}
+
+/// Parse the shared serve flags, compile through the artifact cache, spawn
+/// the optional metrics endpoint, and drive the synthetic request stream
+/// through the batch scheduler.
+fn run_serve(args: &[String]) -> Result<ServeRun, CliError> {
     let name = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -157,6 +174,26 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let batch: usize = opt(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(8);
     let window_ms: u64 = opt(args, "--window-ms").and_then(|s| s.parse().ok()).unwrap_or(2);
     let g = model_by_name(name, &platform)?;
+
+    // The exposition endpoint goes up before compilation so a scraper can
+    // connect for the whole lifetime of the run.
+    let metrics = MetricsRegistry::new();
+    let server = match opt(args, "--metrics-addr") {
+        Some(addr) => {
+            let srv = MetricsServer::spawn(addr, metrics.clone())
+                .map_err(|e| CliError(format!("failed to bind metrics endpoint {addr}: {e}")))?;
+            println!(
+                "metrics endpoint listening on {} (GET /metrics, /metrics.json)",
+                srv.addr()
+            );
+            if let Some(path) = opt(args, "--port-file") {
+                std::fs::write(path, srv.addr().to_string())
+                    .map_err(|e| CliError(format!("failed to write port file {path}: {e}")))?;
+            }
+            Some(srv)
+        }
+        None => None,
+    };
 
     let engine = engine_for(args, &platform);
     let t0 = std::time::Instant::now();
@@ -187,7 +224,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if !faults.is_noop() {
         tel_warn!("unigpu::cli", "device fault injection active: {faults:?}");
     }
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         concurrency,
         max_batch: batch,
         batch_window: Duration::from_millis(window_ms),
@@ -196,9 +233,70 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         faults,
         ..Default::default()
     };
+    if let Some(v) = opt(args, "--slo-objective").and_then(|s| s.parse().ok()) {
+        cfg.slo_objective = v;
+    }
+    if let Some(v) = opt(args, "--slo-window-ms").and_then(|s| s.parse().ok()) {
+        cfg.slo_window_ms = v;
+    }
+    if let Some(v) = opt(args, "--trace-sample").and_then(|s| s.parse().ok()) {
+        cfg.trace_sample_every = v;
+    }
     let spans = SpanRecorder::new();
-    let metrics = MetricsRegistry::new();
     let report = compiled.serve(uniform_requests(&compiled, n, interval), &cfg, &spans, &metrics);
+    Ok(ServeRun {
+        name: name.to_string(),
+        platform,
+        concurrency,
+        report,
+        spans,
+        metrics,
+        server,
+    })
+}
+
+/// Headline SLO and utilization lines shared by `serve` and `report`.
+fn print_slo_utilization(report: &ServeReport) {
+    let slo = &report.slo;
+    println!(
+        "slo: objective {:.1}% — error rate {:.2}% (window {:.2}% over {:.0} ms), \
+         burn rate {:.2}x, budget remaining {:.0}%",
+        slo.objective * 100.0,
+        slo.error_rate * 100.0,
+        slo.window_error_rate * 100.0,
+        slo.window_ms,
+        slo.burn_rate,
+        slo.budget_remaining * 100.0
+    );
+    let lanes: Vec<String> =
+        report.lane_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
+    println!(
+        "utilization: device idle {:.1}%  lanes [{}]",
+        report.device_idle_fraction * 100.0,
+        lanes.join(" ")
+    );
+}
+
+/// Hold the metrics endpoint open for `--hold-ms` after the final report so
+/// an external scraper can read the drained snapshot, then shut it down.
+fn finish_serve(args: &[String], server: Option<MetricsServer>) {
+    if let Some(srv) = server {
+        if let Some(ms) = opt(args, "--hold-ms").and_then(|s| s.parse::<u64>().ok()) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        srv.stop();
+    }
+}
+
+/// `unigpu serve <model> --requests N --concurrency K --batch B` — compile
+/// through the artifact cache, then serve a synthetic request stream through
+/// the batch scheduler and report throughput and latency percentiles from
+/// the telemetry metrics. `--metrics-addr` exposes the registry over HTTP
+/// while the run is live (`--hold-ms` keeps it up after the final report).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let run = run_serve(args)?;
+    let (report, concurrency, metrics, spans) =
+        (&run.report, run.concurrency, &run.metrics, &run.spans);
 
     println!(
         "served {} requests on {} workers in {:.2} ms simulated ({} batches, mean size {:.1})",
@@ -243,6 +341,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             queue.mean
         );
     }
+    print_slo_utilization(report);
 
     if let Some(path) = opt(args, "--trace") {
         let mut trace = ChromeTrace::new();
@@ -258,6 +357,53 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError(format!("failed to write trace {}: {e}", path.display())))?;
         println!("trace written to {} ({} events)", path.display(), trace.events().len());
     }
+    finish_serve(args, run.server);
+    Ok(())
+}
+
+/// `unigpu report <model> [serve flags]` — run the same serve pipeline as
+/// `unigpu serve` and print the full observability digest: accounting, SLO
+/// burn rate, per-lane utilization, and every histogram/gauge/counter in
+/// the registry — the terminal rendering of what `--metrics-addr` exposes.
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let run = run_serve(args)?;
+    let report = &run.report;
+    println!(
+        "observability report: {} on {} — {} offered, {} worker(s), {:.2} ms simulated",
+        run.name, run.platform.name, report.offered, run.concurrency, report.makespan_ms
+    );
+    println!(
+        "accounting: {} completed, {} shed, {} deadline-expired, {} failed ({} lost)",
+        report.results.len(),
+        report.shed.len(),
+        report.expired.len(),
+        report.failed.len(),
+        report.lost()
+    );
+    print_slo_utilization(report);
+    let snap = run.metrics.snapshot();
+    if !snap.histograms.is_empty() {
+        println!("histograms:");
+        for (name, h) in &snap.histograms {
+            println!(
+                "  {:<26} count {:>6}  mean {:>9.3}  p50 {:>9.3}  p95 {:>9.3}  p99 {:>9.3}  max {:>9.3}",
+                name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("gauges:");
+        for (name, v) in &snap.gauges {
+            println!("  {name:<36} {v:>14.4}");
+        }
+    }
+    if !snap.counters.is_empty() {
+        println!("counters:");
+        for (name, v) in &snap.counters {
+            println!("  {name:<36} {v:>14}");
+        }
+    }
+    finish_serve(args, run.server);
     Ok(())
 }
 
@@ -501,7 +647,11 @@ fn usage() -> CliError {
            serve <model> [--platform P] [--requests N] [--concurrency K]\n\
                     [--batch B] [--window-ms W] [--interval-ms I] [--tuned]\n\
                     [--queue-cap N] [--deadline-ms D] [--faults PLAN]\n\
+                    [--metrics-addr ADDR] [--port-file F] [--hold-ms M]\n\
+                    [--slo-objective F] [--slo-window-ms W] [--trace-sample N]\n\
                     [--trace out.json]\n\
+           report <model> [same flags as serve]\n\
+                    full observability digest: SLO, utilization, histograms\n\
            profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
                     [--tuned] [--trials N] [--fallback]\n\
            tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
@@ -521,6 +671,7 @@ fn main() {
         Some("models") => cmd_models(),
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("farm") => cmd_farm(&args[1..]),
