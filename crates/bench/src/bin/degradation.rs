@@ -66,18 +66,21 @@ fn main() {
     for load_factor in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let spans = SpanRecorder::new();
         let metrics = MetricsRegistry::new();
-        let cfg = ServeConfig {
-            concurrency: WORKERS,
-            max_batch: 8,
-            batch_window: Duration::from_millis(2),
-            queue_cap: Some(QUEUE_CAP),
-            deadline_ms: Some(deadline_ms),
-            faults,
-            ..Default::default()
-        };
+        let cfg = ServeConfig::builder()
+            .concurrency(WORKERS)
+            .max_batch(8)
+            .batch_window(Duration::from_millis(2))
+            .queue_cap(QUEUE_CAP)
+            .deadline_ms(deadline_ms)
+            .faults(faults)
+            .build()
+            .expect("valid degradation config");
         let interval = capacity_interval / load_factor;
-        let requests = uniform_requests(&compiled, REQUESTS, interval);
-        let report = compiled.serve(requests, &cfg, &spans, &metrics);
+        let mut server = compiled.server_with(&cfg, &spans, &metrics);
+        for r in uniform_requests(&compiled, REQUESTS, interval) {
+            let _ = server.submit(r);
+        }
+        let report = server.shutdown();
         assert_eq!(report.lost(), 0, "every request must be accounted for");
         println!(
             "{:>5.1}x {:>9} {:>6} {:>8} {:>8} {:>9} {:>8} {:>14.1} {:>8}",

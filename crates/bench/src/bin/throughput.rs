@@ -1,5 +1,7 @@
 //! Serving-throughput sweep: throughput and latency percentiles versus
-//! maximum batch size, through the engine's batch scheduler.
+//! maximum batch size, through the engine's event-driven scheduler, plus
+//! the pipelining ablation (event-driven vs. the phase-sequential
+//! baseline) — the repo's first checked-in perf trajectory point.
 //!
 //! Larger batches amortize kernel-launch overhead (higher throughput) at
 //! the price of queueing delay (higher tail latency) — the classic serving
@@ -11,12 +13,30 @@
 
 use std::time::Duration;
 use unigpu_device::{Platform, Vendor};
-use unigpu_engine::{uniform_requests, Engine, ServeConfig};
+use unigpu_engine::{
+    serve_phase_sequential, uniform_requests, CompiledModel, InferenceRequest, Engine,
+    ServeConfig, ServeReport,
+};
 use unigpu_models::full_zoo;
 use unigpu_telemetry::{MetricsRegistry, SpanRecorder};
 
 const REQUESTS: usize = 64;
 const WORKERS: usize = 4;
+
+/// Stream `requests` through the event-driven scheduler and shut down.
+fn serve_stream(
+    compiled: &CompiledModel,
+    requests: Vec<InferenceRequest>,
+    cfg: &ServeConfig,
+    spans: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServeReport {
+    let mut server = compiled.server_with(cfg, spans, metrics);
+    for r in requests {
+        let _ = server.submit(r);
+    }
+    server.shutdown()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,15 +71,15 @@ fn main() {
     for max_batch in [1usize, 2, 4, 8, 16] {
         let spans = SpanRecorder::new();
         let metrics = MetricsRegistry::new();
-        let cfg = ServeConfig {
-            concurrency: WORKERS,
-            max_batch,
-            batch_window: Duration::from_millis(2),
-            ..Default::default()
-        };
+        let cfg = ServeConfig::builder()
+            .concurrency(WORKERS)
+            .max_batch(max_batch)
+            .batch_window(Duration::from_millis(2))
+            .build()
+            .expect("valid sweep config");
         // offered load near aggregate capacity so batches actually form
         let requests = uniform_requests(&compiled, REQUESTS, single / WORKERS as f64);
-        let report = compiled.serve(requests, &cfg, &spans, &metrics);
+        let report = serve_stream(&compiled, requests, &cfg, &spans, &metrics);
         let lat = metrics
             .histogram_summary("engine.latency_ms")
             .expect("latency histogram");
@@ -87,6 +107,71 @@ fn main() {
             "lane_utilization": report.lane_utilization,
         }));
     }
+
+    // Pipelining ablation: the same saturating arrival stream through the
+    // event-driven scheduler and through the phase-sequential baseline
+    // (static chunks, no partial flushes, no overlap). Zero flush window:
+    // the event-driven core launches whatever is queued the moment a lane
+    // frees, which is exactly the pipelining the baseline lacks.
+    let ablation_cfg = ServeConfig::builder()
+        .concurrency(WORKERS)
+        .max_batch(8)
+        .batch_window(Duration::ZERO)
+        .build()
+        .expect("valid ablation config");
+    let arrivals = uniform_requests(&compiled, REQUESTS, single / WORKERS as f64);
+    let ev_metrics = MetricsRegistry::new();
+    let event_driven = serve_stream(
+        &compiled,
+        arrivals.clone(),
+        &ablation_cfg,
+        &SpanRecorder::new(),
+        &ev_metrics,
+    );
+    let ps_metrics = MetricsRegistry::new();
+    let phase_seq = serve_phase_sequential(
+        &compiled,
+        arrivals,
+        &ablation_cfg,
+        &SpanRecorder::new(),
+        &ps_metrics,
+    );
+    let ev_lat = ev_metrics
+        .histogram_summary("engine.latency_ms")
+        .expect("latency histogram");
+    let ps_lat = ps_metrics
+        .histogram_summary("engine.latency_ms")
+        .expect("latency histogram");
+
+    println!();
+    println!(
+        "=== pipelining ablation — event-driven vs phase-sequential \
+         (batch 8, zero window, saturating load) ==="
+    );
+    println!(
+        "{:>18} {:>14} {:>10} {:>8} {:>8}",
+        "scheduler", "thruput(req/s)", "p99(ms)", "idle", "batches"
+    );
+    for (label, report, lat) in [
+        ("event-driven", &event_driven, &ev_lat),
+        ("phase-sequential", &phase_seq, &ps_lat),
+    ] {
+        println!(
+            "{:>18} {:>14.1} {:>10.2} {:>7.1}% {:>8}",
+            label,
+            report.throughput_rps(),
+            lat.p99,
+            report.device_idle_fraction * 100.0,
+            report.batches
+        );
+    }
+    println!(
+        "pipelining gain: throughput {:+.1}%, idle {:+.1} pts, makespan {:+.1}%",
+        (event_driven.throughput_rps() / phase_seq.throughput_rps() - 1.0) * 100.0,
+        (event_driven.device_idle_fraction - phase_seq.device_idle_fraction) * 100.0,
+        (event_driven.makespan_ms / phase_seq.makespan_ms - 1.0) * 100.0
+    );
+
     let path = unigpu_bench::write_bench_json(
         "throughput",
         &serde_json::json!({
@@ -97,6 +182,24 @@ fn main() {
             "workers": WORKERS,
             "single_sample_ms": single,
             "rows": rows,
+            "pipelining": {
+                "max_batch": 8,
+                "window_ms": 0,
+                "event_driven": {
+                    "throughput_rps": event_driven.throughput_rps(),
+                    "p99_ms": ev_lat.p99,
+                    "device_idle_fraction": event_driven.device_idle_fraction,
+                    "batches": event_driven.batches,
+                    "makespan_ms": event_driven.makespan_ms,
+                },
+                "phase_sequential": {
+                    "throughput_rps": phase_seq.throughput_rps(),
+                    "p99_ms": ps_lat.p99,
+                    "device_idle_fraction": phase_seq.device_idle_fraction,
+                    "batches": phase_seq.batches,
+                    "makespan_ms": phase_seq.makespan_ms,
+                },
+            },
         }),
     );
     println!("wrote {}", path.display());

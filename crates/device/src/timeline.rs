@@ -181,6 +181,14 @@ impl MultiTimeline {
             .unwrap_or(0)
     }
 
+    /// The lowest-index stream already free at `now_ms`, or `None` when
+    /// every stream is still busy — the event-driven scheduler's "is a
+    /// lane free right now" probe (vs. [`MultiTimeline::least_loaded`],
+    /// which always answers with the earliest-freeing lane).
+    pub fn first_free_at(&self, now_ms: f64) -> Option<usize> {
+        self.free_at.iter().position(|&f| f <= now_ms)
+    }
+
     /// Schedule an event on `stream`: it starts at
     /// `max(ready_ms, free_at(stream))` and occupies the stream for
     /// `duration_ms`. Returns the start time.
@@ -378,6 +386,18 @@ mod tests {
         let json = trace.to_json();
         assert!(json.contains("\"tid\":10") && json.contains("\"tid\":11"), "{json}");
         assert!(json.contains("stream 0"));
+    }
+
+    #[test]
+    fn first_free_at_probes_the_current_instant() {
+        let mut mt = MultiTimeline::new(2);
+        assert_eq!(mt.first_free_at(0.0), Some(0), "all lanes idle: lowest index wins");
+        mt.schedule(0, "a", 0.0, 5.0);
+        assert_eq!(mt.first_free_at(0.0), Some(1), "lane 0 busy until 5.0");
+        mt.schedule(1, "b", 0.0, 3.0);
+        assert_eq!(mt.first_free_at(0.0), None, "both lanes busy");
+        assert_eq!(mt.first_free_at(3.0), Some(1), "lane 1 frees first");
+        assert_eq!(mt.first_free_at(5.0), Some(0), "ties break to the lowest index");
     }
 
     #[test]

@@ -10,15 +10,18 @@
 //! * [`cache`] — a bounded LRU [`ArtifactCache`] over artifacts; eviction
 //!   drops memory only, corrupt disk artifacts are deleted and recompiled,
 //!   never crashed on;
-//! * [`compiled`]/[`serve`] — the [`Engine`]/[`CompiledModel`] API and the
-//!   batched request scheduler: concurrent requests coalesce into
-//!   same-shape batches (bounded size and wait window) and execute on the
-//!   simulated multi-stream device timeline, reporting per-request
-//!   queueing/latency and aggregate throughput through telemetry. The
-//!   scheduler is hardened for production failure modes: bounded admission
-//!   with load shedding, per-request deadlines, device-fault retry with an
-//!   all-CPU degraded fallback, a circuit breaker, and panic-isolated
-//!   workers over poison-recovering locks ([`lock`]).
+//! * [`compiled`]/[`serve`]/[`server`] — the [`Engine`]/[`CompiledModel`]
+//!   API and the event-driven request scheduler: concurrent requests
+//!   coalesce into same-shape batches (bounded size and simulated-clock
+//!   wait window) and execute on the simulated multi-stream device
+//!   timeline, with formation, launch, and readback/accounting overlapped
+//!   through one event queue so several batches are in flight per device
+//!   (continuous batching). Per-request queueing/latency and aggregate
+//!   throughput flow through telemetry. The scheduler is hardened for
+//!   production failure modes: bounded admission with load shedding,
+//!   per-request deadlines, device-fault retry with an all-CPU degraded
+//!   fallback, a circuit breaker, and panic-isolated batch execution over
+//!   poison-recovering locks ([`lock`]).
 //!
 //! Typical use:
 //!
@@ -26,7 +29,9 @@
 //! let engine = Engine::builder().platform(Platform::jetson_nano()).tuned(64).build();
 //! let compiled = engine.compile(&model);      // second process: cache hit
 //! let report = compiled.estimate();           // single-sample latency
-//! let served = compiled.serve(requests, &ServeConfig::default(), &spans, &metrics);
+//! let mut server = compiled.server(&ServeConfig::builder().concurrency(2).build()?);
+//! for r in requests { server.submit(r); }     // streaming; poll()/drain() mid-run
+//! let served = server.shutdown();             // final ServeReport
 //! ```
 
 pub mod artifact;
@@ -34,6 +39,7 @@ pub mod cache;
 pub mod compiled;
 pub mod lock;
 pub mod serve;
+pub mod server;
 
 pub use artifact::{
     fingerprint, records_digest, Artifact, ArtifactKey, ArtifactMeta, TuningState, ARTIFACT_KIND,
@@ -41,7 +47,10 @@ pub use artifact::{
 };
 pub use cache::{default_artifact_dir, ArtifactCache, CacheStats};
 pub use compiled::{CompiledModel, Engine, EngineBuilder};
+#[allow(deprecated)] // the legacy entry point stays exported through its deprecation window
+pub use serve::serve;
 pub use serve::{
-    serve, uniform_requests, Admission, InferenceRequest, RequestQueue, RequestResult,
-    ServeConfig, ServeReport, LANE_CONTROL, LANE_WORKER_BASE,
+    uniform_requests, Admission, ConfigError, Formation, InferenceRequest, RequestQueue,
+    RequestResult, ServeConfig, ServeConfigBuilder, ServeReport, LANE_CONTROL, LANE_WORKER_BASE,
 };
+pub use server::{serve_phase_sequential, Server};

@@ -1,14 +1,15 @@
-//! Concurrent serving: a request queue with shape-aware batch coalescing
-//! and a worker pool executing on the simulated device timeline — hardened
-//! for production failure modes.
+//! Serving data plane: requests, admission control, batch formation, and
+//! the per-run report. The scheduler itself lives in [`crate::server`] — an
+//! event-driven simulated-clock core ([`crate::server::Server`]) that
+//! overlaps batch *formation*, device *execution*, and *readback/accounting*
+//! so multiple batches are in flight per device.
 //!
-//! Workers are real `std::thread`s; *execution* is priced on the simulated
-//! clock. A batch becomes ready at the latest arrival among its requests,
-//! starts at `max(ready, worker lane free)`, and runs for the compiled
-//! batched estimate ([`CompiledModel::estimate_batch_ms`]). Per-request
-//! latency therefore decomposes exactly as queueing delay (`start −
-//! arrival`) plus execution (`done − start`), and throughput falls out of
-//! the timeline makespan.
+//! Everything here is priced on the simulated clock. A batch becomes ready
+//! at the latest arrival among its requests, starts at `max(ready, lane
+//! free)`, and runs for the compiled batched estimate
+//! ([`CompiledModel::estimate_batch_ms`]). Per-request latency therefore
+//! decomposes exactly as queueing delay (`start − arrival`) plus execution
+//! (`done − start`), and throughput falls out of the timeline makespan.
 //!
 //! ## Fault tolerance
 //!
@@ -34,26 +35,23 @@
 //!   After [`ServeConfig::breaker_cooldown_ms`] of simulated time it
 //!   half-opens, probes the device, and closes on success.
 //! * **Panic isolation** — each batch executes under `catch_unwind`; a
-//!   panicking worker restarts and retries the batch (panic injection
-//!   disabled), then falls back to CPU accounting, so a single poisoned
-//!   lock or bad request can never wedge the scheduler.
+//!   panicking launch is retried with panic injection disabled, then falls
+//!   back to CPU accounting, so a single poisoned lock or bad request can
+//!   never wedge the scheduler.
 //!
 //! With an empty fault plan and default config the scheduler is
-//! bit-identical to the pre-fault-tolerance one: same batches, same
-//! timeline, same per-request results.
+//! deterministic down to the bit: two runs of the same workload produce
+//! identical reports ([`ServeReport::digest`]).
 
 use crate::compiled::CompiledModel;
 use crate::lock;
+use crate::server::Server;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
-use unigpu_device::{DeviceFaultPlan, DeviceFaultState, LaunchOutcome, MultiTimeline};
-use unigpu_telemetry::{
-    tel_warn, MetricsRegistry, SloConfig, SloSummary, SloTracker, SpanRecord, SpanRecorder,
-    TraceContext,
-};
+use unigpu_device::{DeviceFaultPlan, MultiTimeline};
+use unigpu_telemetry::{MetricsRegistry, SloSummary, SpanRecorder, TraceContext};
 use unigpu_tensor::Shape;
 
 /// First Chrome-trace lane used by serving workers (lanes 0–2 belong to the
@@ -66,7 +64,7 @@ pub const LANE_CONTROL: u32 = 7;
 
 /// Fraction of the nominal batch time a *failed* launch occupies the lane
 /// before the driver reports the error (kernels fail fast, not free).
-const FAULT_LATENCY_FRACTION: f64 = 0.25;
+pub(crate) const FAULT_LATENCY_FRACTION: f64 = 0.25;
 
 /// One inference request.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,14 +81,19 @@ pub struct InferenceRequest {
 }
 
 /// Batching, concurrency, and fault-tolerance knobs.
+///
+/// Construct with [`ServeConfig::builder`] for validation at the edge, or
+/// by struct literal (the fields stay public; the scheduler defensively
+/// clamps the few that would otherwise divide by zero).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads, each with its own simulated device stream.
+    /// Device lanes (simulated streams) batches are launched onto.
     pub concurrency: usize,
     /// Maximum requests coalesced into one batch.
     pub max_batch: usize,
-    /// Wall-clock time a worker holds an underfull batch open for more
-    /// same-shape arrivals before flushing it.
+    /// Simulated time an underfull batch is held open for more same-shape
+    /// arrivals before flushing. Lives entirely on the simulated clock
+    /// ([`RequestQueue::form_batch`]), so formation is deterministic.
     pub batch_window: Duration,
     /// Admission-control bound on the request queue; offers beyond it are
     /// shed. `None` = unbounded (the pre-fault-tolerance behavior).
@@ -140,14 +143,164 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// A validating builder seeded with the defaults. Rejects nonsense
+    /// (zero concurrency, zero queue capacity, non-positive deadlines) at
+    /// construction instead of clamping deep inside the scheduler.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
     /// The trace context for `r` under this config's sampling: the
     /// request's own context if it carried one, else a deterministic root
     /// derived from the request id; `None` when the id is not sampled.
-    fn request_trace(&self, r: &InferenceRequest) -> Option<TraceContext> {
+    pub(crate) fn request_trace(&self, r: &InferenceRequest) -> Option<TraceContext> {
         if self.trace_sample_every == 0 || r.id % self.trace_sample_every != 0 {
             return None;
         }
         Some(r.trace.unwrap_or_else(|| TraceContext::from_seed(r.id as u64)))
+    }
+}
+
+/// A [`ServeConfig`] knob rejected by [`ServeConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `concurrency` must be at least one device lane.
+    ZeroConcurrency,
+    /// `max_batch` must admit at least one request per batch.
+    ZeroMaxBatch,
+    /// A bounded queue must admit at least one request.
+    ZeroQueueCap,
+    /// Deadlines must be positive and finite (the carried value is the
+    /// rejected one).
+    InvalidDeadline(f64),
+    /// The SLO objective is a success fraction in `(0, 1]`.
+    InvalidSloObjective(f64),
+    /// The SLO window must be positive and finite.
+    InvalidSloWindow(f64),
+    /// The breaker cooldown must be non-negative and finite.
+    InvalidBreakerCooldown(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroConcurrency => write!(f, "concurrency must be >= 1"),
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ConfigError::ZeroQueueCap => write!(f, "queue_cap must be >= 1 (omit it for unbounded)"),
+            ConfigError::InvalidDeadline(d) => {
+                write!(f, "deadline_ms must be positive and finite, got {d}")
+            }
+            ConfigError::InvalidSloObjective(o) => {
+                write!(f, "slo_objective must be a fraction in (0, 1], got {o}")
+            }
+            ConfigError::InvalidSloWindow(w) => {
+                write!(f, "slo_window_ms must be positive and finite, got {w}")
+            }
+            ConfigError::InvalidBreakerCooldown(c) => {
+                write!(f, "breaker_cooldown_ms must be non-negative and finite, got {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    pub fn concurrency(mut self, lanes: usize) -> Self {
+        self.cfg.concurrency = lanes;
+        self
+    }
+
+    pub fn max_batch(mut self, max: usize) -> Self {
+        self.cfg.max_batch = max;
+        self
+    }
+
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.cfg.batch_window = window;
+        self
+    }
+
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.queue_cap = Some(cap);
+        self
+    }
+
+    pub fn deadline_ms(mut self, budget: f64) -> Self {
+        self.cfg.deadline_ms = Some(budget);
+        self
+    }
+
+    pub fn faults(mut self, plan: DeviceFaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    pub fn max_retries(mut self, retries: usize) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    pub fn breaker_threshold(mut self, faults: usize) -> Self {
+        self.cfg.breaker_threshold = faults;
+        self
+    }
+
+    pub fn breaker_cooldown_ms(mut self, cooldown: f64) -> Self {
+        self.cfg.breaker_cooldown_ms = cooldown;
+        self
+    }
+
+    pub fn slo_objective(mut self, objective: f64) -> Self {
+        self.cfg.slo_objective = objective;
+        self
+    }
+
+    pub fn slo_window_ms(mut self, window: f64) -> Self {
+        self.cfg.slo_window_ms = window;
+        self
+    }
+
+    pub fn trace_sample_every(mut self, every: usize) -> Self {
+        self.cfg.trace_sample_every = every;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.concurrency == 0 {
+            return Err(ConfigError::ZeroConcurrency);
+        }
+        if cfg.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if cfg.queue_cap == Some(0) {
+            return Err(ConfigError::ZeroQueueCap);
+        }
+        if let Some(d) = cfg.deadline_ms {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ConfigError::InvalidDeadline(d));
+            }
+        }
+        if !cfg.slo_objective.is_finite() || cfg.slo_objective <= 0.0 || cfg.slo_objective > 1.0 {
+            return Err(ConfigError::InvalidSloObjective(cfg.slo_objective));
+        }
+        if !cfg.slo_window_ms.is_finite() || cfg.slo_window_ms <= 0.0 {
+            return Err(ConfigError::InvalidSloWindow(cfg.slo_window_ms));
+        }
+        if !cfg.breaker_cooldown_ms.is_finite() || cfg.breaker_cooldown_ms < 0.0 {
+            return Err(ConfigError::InvalidBreakerCooldown(cfg.breaker_cooldown_ms));
+        }
+        Ok(cfg)
     }
 }
 
@@ -161,10 +314,27 @@ pub enum Admission {
     Closed(InferenceRequest),
 }
 
+/// Outcome of one simulated-clock batch-formation decision
+/// ([`RequestQueue::form_batch`]).
+#[derive(Debug, PartialEq)]
+pub enum Formation {
+    /// A batch is ready: the contiguous same-shape run at the queue front.
+    Flush(Vec<InferenceRequest>),
+    /// An underfull same-shape run is held open for more arrivals; re-form
+    /// at `until_ms` (simulated clock) unless something flushes it sooner.
+    Hold { until_ms: f64 },
+    /// Nothing queued right now. `closed` reports whether the queue has
+    /// finished its drain-then-reject shutdown.
+    Empty { closed: bool },
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
     queue: VecDeque<InferenceRequest>,
     closed: bool,
+    /// Simulated time the current underfull front run was first seen by
+    /// [`RequestQueue::form_batch`]; cleared on flush/empty.
+    window_open_ms: Option<f64>,
 }
 
 /// Thread-safe FIFO of requests with shape-aware batch extraction and
@@ -232,9 +402,9 @@ impl RequestQueue {
     }
 
     /// Mark the queue closed: new offers are rejected immediately, while
-    /// blocked `pop_batch` calls flush what they hold and then return
-    /// `None` once the queue drains (drain-then-reject — close never loses
-    /// queued requests).
+    /// formation flushes what the queue holds and then reports
+    /// `Empty { closed: true }` once it drains (drain-then-reject — close
+    /// never loses queued requests).
     pub fn close(&self) {
         lock::recover(&self.state).closed = true;
         self.ready.notify_all();
@@ -248,14 +418,55 @@ impl RequestQueue {
         self.len() == 0
     }
 
-    /// Pop the next batch: up to `max` requests sharing the shape of the
-    /// queue's front request. Mismatched shapes never coalesce — a batch is
-    /// only the *contiguous* same-shape run at the front, so cross-shape
-    /// FIFO order is preserved. An underfull batch is held open up to
-    /// `window` for more same-shape arrivals, but flushes immediately when
-    /// it fills, when a mismatched request is already waiting behind it
-    /// (holding on would only delay that request), or when the queue
-    /// closes. Returns `None` once the queue is closed and drained.
+    /// One simulated-clock batch-formation decision at `now_ms`: up to
+    /// `max` requests sharing the shape of the queue's front request.
+    /// Mismatched shapes never coalesce — a batch is only the *contiguous*
+    /// same-shape run at the front, so cross-shape FIFO order is preserved.
+    ///
+    /// An underfull run is *held* (requests stay queued, still counted
+    /// against [`RequestQueue::capacity`]) until `window_ms` of simulated
+    /// time passes from when the run was first seen, but flushes
+    /// immediately when it fills, when a mismatched request is already
+    /// waiting behind it (holding on would only delay that request), or
+    /// when the queue closes. Unlike the retired wall-clock
+    /// [`RequestQueue::pop_batch`], the flush window lives entirely on the
+    /// caller's clock, so formation is deterministic and replayable.
+    pub fn form_batch(&self, max: usize, now_ms: f64, window_ms: f64) -> Formation {
+        let max = max.max(1);
+        let mut st = lock::recover(&self.state);
+        if st.queue.is_empty() {
+            st.window_open_ms = None;
+            return Formation::Empty { closed: st.closed };
+        }
+        let opened = *st.window_open_ms.get_or_insert(now_ms);
+        let anchor = st.queue.front().expect("non-empty queue").shape.clone();
+        let run = st
+            .queue
+            .iter()
+            .take(max)
+            .take_while(|r| r.shape == anchor)
+            .count();
+        // `run < len` can only mean a mismatched shape is waiting behind
+        // the run (the scan is capped at `max`, but `run == max` flushes
+        // anyway).
+        if run == max || st.closed || run < st.queue.len() || now_ms >= opened + window_ms {
+            st.window_open_ms = None;
+            return Formation::Flush(st.queue.drain(..run).collect());
+        }
+        Formation::Hold {
+            until_ms: opened + window_ms,
+        }
+    }
+
+    /// Pop the next batch, blocking on the *wall* clock.
+    ///
+    /// Retired in favor of [`RequestQueue::form_batch`], which makes the
+    /// identical flush decision on the simulated clock and never blocks.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RequestQueue::form_batch` — the flush window now lives on the \
+                simulated clock; this blocking variant survives for out-of-tree callers"
+    )]
     pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<InferenceRequest>> {
         let max = max.max(1);
         let mut st = lock::recover(&self.state);
@@ -301,7 +512,7 @@ pub struct RequestResult {
     pub done_ms: f64,
     /// Size of the batch it rode in.
     pub batch_size: usize,
-    /// Worker (device stream) that executed it.
+    /// Device lane (simulated stream) that executed it.
     pub worker: usize,
     /// True when device faults re-placed this batch on the all-CPU
     /// degraded variant instead of the compiled placement.
@@ -325,7 +536,7 @@ impl RequestResult {
     }
 }
 
-/// Aggregate outcome of a [`serve`] run. Every offered request lands in
+/// Aggregate outcome of a serve run. Every offered request lands in
 /// exactly one bucket: `results` (completed), `shed` (admission control),
 /// `expired` (deadline), or `failed` (repeated worker panics — the
 /// last-resort bucket, empty unless pricing itself is broken).
@@ -337,7 +548,7 @@ pub struct ServeReport {
     pub batches: usize,
     /// Simulated time at which the last batch finished, ms.
     pub makespan_ms: f64,
-    /// The per-worker device timeline (for trace export / utilization).
+    /// The per-lane device timeline (for trace export / utilization).
     pub timeline: MultiTimeline,
     /// Requests offered to the scheduler (all buckets sum to this).
     pub offered: usize,
@@ -359,11 +570,11 @@ pub struct ServeReport {
     pub breaker_recoveries: usize,
     /// Worker panics caught and isolated.
     pub worker_panics: usize,
-    /// Fraction of total device capacity (`workers × makespan`) spent
+    /// Fraction of total device capacity (`lanes × makespan`) spent
     /// idle — the paper's core utilization concern, measured on the
     /// simulated timeline.
     pub device_idle_fraction: f64,
-    /// Per-worker-lane busy fraction over the makespan.
+    /// Per-lane busy fraction over the makespan.
     pub lane_utilization: Vec<f64>,
     /// SLO digest at the makespan: completed = good, shed/expired/failed =
     /// bad, burn rate over [`ServeConfig::slo_window_ms`].
@@ -406,390 +617,65 @@ impl ServeReport {
             self.results.len() + self.shed.len() + self.expired.len() + self.failed.len(),
         )
     }
-}
 
-/// Per-device circuit breaker: K consecutive faults open it (batches route
-/// to the CPU variant), a simulated-clock cooldown half-opens it, and a
-/// successful probe closes it again.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum BreakerPhase {
-    Closed,
-    Open { until_ms: f64 },
-    HalfOpen,
-}
-
-#[derive(Debug)]
-struct Breaker {
-    phase: BreakerPhase,
-    consecutive_faults: usize,
-    trips: usize,
-    recoveries: usize,
-}
-
-impl Breaker {
-    fn new() -> Self {
-        Breaker {
-            phase: BreakerPhase::Closed,
-            consecutive_faults: 0,
-            trips: 0,
-            recoveries: 0,
+    /// FNV-1a digest over every externally observable field. Two zero-noise
+    /// runs of the same workload must agree bit for bit — the CI
+    /// determinism gate compares this across back-to-back serves.
+    pub fn digest(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3)
         }
-    }
-
-    fn gauge(&self) -> f64 {
-        match self.phase {
-            BreakerPhase::Closed => 0.0,
-            BreakerPhase::Open { .. } => 1.0,
-            BreakerPhase::HalfOpen => 2.0,
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = mix(h, self.offered as u64);
+        h = mix(h, self.batches as u64);
+        h = mix(h, self.makespan_ms.to_bits());
+        for r in &self.results {
+            h = mix(h, r.id as u64);
+            h = mix(h, r.arrival_ms.to_bits());
+            h = mix(h, r.start_ms.to_bits());
+            h = mix(h, r.done_ms.to_bits());
+            h = mix(h, r.batch_size as u64);
+            h = mix(h, r.worker as u64);
+            h = mix(h, u64::from(r.degraded));
         }
-    }
-}
-
-#[derive(Default)]
-struct FaultTally {
-    device_faults: AtomicUsize,
-    retries: AtomicUsize,
-    degraded_batches: AtomicUsize,
-    worker_panics: AtomicUsize,
-}
-
-/// Everything a worker needs, borrowed for the scope of one `serve` run.
-struct Ctx<'a> {
-    compiled: &'a CompiledModel,
-    cfg: &'a ServeConfig,
-    spans: &'a SpanRecorder,
-    metrics: &'a MetricsRegistry,
-    queue: &'a RequestQueue,
-    timeline: &'a Mutex<MultiTimeline>,
-    results: &'a Mutex<Vec<RequestResult>>,
-    expired: &'a Mutex<Vec<InferenceRequest>>,
-    failed: &'a Mutex<Vec<InferenceRequest>>,
-    batches: &'a AtomicUsize,
-    faults: &'a Mutex<DeviceFaultState>,
-    breaker: &'a Mutex<Breaker>,
-    degraded: &'a OnceLock<CompiledModel>,
-    tally: &'a FaultTally,
-    slo: &'a SloTracker,
-}
-
-impl Ctx<'_> {
-    fn breaker_transition(&self, to: &str, gauge: f64, at_ms: f64, detail: String) {
-        self.metrics.set_gauge("engine.breaker_state", gauge);
-        self.spans.record(SpanRecord {
-            name: format!("breaker→{to}"),
-            category: "breaker".into(),
-            start_us: at_ms * 1000.0,
-            dur_us: 0.0,
-            lane: LANE_CONTROL,
-            attrs: vec![("detail".into(), detail)],
-            trace: None,
-        });
-    }
-
-    /// May this batch try the device right now? Handles the open→half-open
-    /// transition when the cooldown has elapsed on the simulated clock.
-    fn breaker_allows_gpu(&self, now_ms: f64) -> bool {
-        let mut b = lock::recover(self.breaker);
-        match b.phase {
-            BreakerPhase::Closed | BreakerPhase::HalfOpen => true,
-            BreakerPhase::Open { until_ms } if now_ms >= until_ms => {
-                b.phase = BreakerPhase::HalfOpen;
-                let gauge = b.gauge();
-                drop(b);
-                self.breaker_transition(
-                    "half_open",
-                    gauge,
-                    now_ms,
-                    format!("cooldown elapsed at {now_ms:.3} ms; probing device"),
-                );
-                true
-            }
-            BreakerPhase::Open { .. } => false,
-        }
-    }
-
-    fn breaker_on_success(&self, at_ms: f64) {
-        let mut b = lock::recover(self.breaker);
-        b.consecutive_faults = 0;
-        if b.phase == BreakerPhase::HalfOpen {
-            b.phase = BreakerPhase::Closed;
-            b.recoveries += 1;
-            self.metrics.inc("engine.breaker_recoveries");
-            let gauge = b.gauge();
-            drop(b);
-            self.breaker_transition(
-                "closed",
-                gauge,
-                at_ms,
-                "probe succeeded; device recovered".into(),
-            );
-        }
-    }
-
-    /// Record a device fault; returns `true` if the breaker is (now) open.
-    fn breaker_on_fault(&self, at_ms: f64) -> bool {
-        let threshold = self.cfg.breaker_threshold;
-        let mut b = lock::recover(self.breaker);
-        b.consecutive_faults += 1;
-        let trip = match b.phase {
-            BreakerPhase::HalfOpen => true, // failed probe: straight back open
-            BreakerPhase::Closed => threshold > 0 && b.consecutive_faults >= threshold,
-            BreakerPhase::Open { .. } => return true,
-        };
-        if trip {
-            b.phase = BreakerPhase::Open {
-                until_ms: at_ms + self.cfg.breaker_cooldown_ms,
-            };
-            b.trips += 1;
-            self.metrics.inc("engine.breaker_trips");
-            let (gauge, faults) = (b.gauge(), b.consecutive_faults);
-            drop(b);
-            self.breaker_transition(
-                "open",
-                gauge,
-                at_ms,
-                format!(
-                    "{faults} consecutive fault(s); cooling down {:.1} ms",
-                    self.cfg.breaker_cooldown_ms
-                ),
-            );
-        }
-        trip
-    }
-}
-
-#[derive(Clone, Copy)]
-enum ExecMode {
-    /// Normal path: device attempts with retry/breaker, CPU on exhaustion.
-    Device { inject_panics: bool },
-    /// Last-resort path after repeated panics: price on the CPU variant
-    /// without touching the device or the panic-injection counters.
-    ForceDegraded,
-}
-
-/// Execute (or reject) one popped batch. Runs under `catch_unwind` — every
-/// lock it takes recovers from poison.
-fn process_batch(w: usize, batch: &[InferenceRequest], ctx: &Ctx, mode: ExecMode) {
-    if let ExecMode::Device {
-        inject_panics: true,
-    } = mode
-    {
-        let panic_now = lock::recover(ctx.faults).worker_panic_now();
-        if panic_now {
-            panic!("injected worker panic (UNIGPU_FAULTS worker_panic_nth)");
-        }
-    }
-
-    // Deadline admission at batch formation: requests whose completion
-    // budget the batch would already blow are rejected, counted, and never
-    // executed. The projection uses the full batch; survivors ride a batch
-    // that is no larger, so it finishes no later than projected.
-    let mut kept: Vec<&InferenceRequest> = batch.iter().collect();
-    if let Some(budget) = ctx.cfg.deadline_ms {
-        let free = lock::recover(ctx.timeline).free_at(w);
-        let ready = batch.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
-        let base = ctx.compiled.estimate_batch_ms(batch.len());
-        let factor = lock::recover(ctx.faults).throttle_factor_now();
-        let projected_done = free.max(ready) + base * factor;
-        let (ok, late): (Vec<_>, Vec<_>) = kept
-            .into_iter()
-            .partition(|r| r.arrival_ms + budget >= projected_done);
-        if !late.is_empty() {
-            ctx.metrics
-                .add("engine.deadline_expired", late.len() as u64);
-            for r in &late {
-                ctx.slo.bad(r.arrival_ms);
-            }
-            lock::recover(ctx.expired).extend(late.into_iter().cloned());
-        }
-        kept = ok;
-    }
-    if kept.is_empty() {
-        return;
-    }
-
-    let len = kept.len();
-    let ready_ms = kept.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
-    let base_ms = ctx.compiled.estimate_batch_ms(len);
-    let idx = ctx.batches.fetch_add(1, Ordering::Relaxed);
-    // batch-level control spans (retries) stitch into the trace of the
-    // first sampled request riding the batch
-    let batch_trace = kept.iter().find_map(|r| ctx.cfg.request_trace(r));
-
-    let (start, done, degraded) = match mode {
-        ExecMode::ForceDegraded => run_degraded(ctx, w, idx, len, ready_ms),
-        ExecMode::Device { .. } => {
-            let mut attempts = 0usize;
-            loop {
-                let now = lock::recover(ctx.timeline).free_at(w).max(ready_ms);
-                if !ctx.breaker_allows_gpu(now) {
-                    break run_degraded(ctx, w, idx, len, ready_ms);
-                }
-                match lock::recover(ctx.faults).on_launch(base_ms, len) {
-                    LaunchOutcome::Ok { duration_ms } => {
-                        let start = lock::recover(ctx.timeline).schedule(
-                            w,
-                            format!("batch{idx}[{len}]"),
-                            ready_ms,
-                            duration_ms,
-                        );
-                        ctx.breaker_on_success(start + duration_ms);
-                        break (start, start + duration_ms, false);
-                    }
-                    LaunchOutcome::Fault(f) => {
-                        ctx.tally.device_faults.fetch_add(1, Ordering::Relaxed);
-                        ctx.metrics.inc("engine.device_faults");
-                        // the failed launch occupies the lane until the
-                        // driver reports the error
-                        let cost = base_ms * FAULT_LATENCY_FRACTION;
-                        let at = lock::recover(ctx.timeline).schedule(
-                            w,
-                            format!("fault{idx}[{f}]"),
-                            ready_ms,
-                            cost,
-                        );
-                        let open = ctx.breaker_on_fault(at + cost);
-                        attempts += 1;
-                        if open || !f.is_transient() || attempts > ctx.cfg.max_retries {
-                            break run_degraded(ctx, w, idx, len, ready_ms);
-                        }
-                        ctx.tally.retries.fetch_add(1, Ordering::Relaxed);
-                        ctx.metrics.inc("engine.retries");
-                        ctx.spans.record(SpanRecord {
-                            name: format!("retry batch{idx}"),
-                            category: "retry".into(),
-                            start_us: at * 1000.0,
-                            dur_us: cost * 1000.0,
-                            lane: LANE_CONTROL,
-                            attrs: vec![
-                                ("fault".into(), f.to_string()),
-                                ("attempt".into(), attempts.to_string()),
-                            ],
-                            trace: batch_trace.map(|t| t.child(attempts as u64)),
-                        });
-                    }
-                }
+        for bucket in [&self.shed, &self.expired, &self.failed] {
+            h = mix(h, bucket.len() as u64);
+            for r in bucket {
+                h = mix(h, r.id as u64);
+                h = mix(h, r.arrival_ms.to_bits());
             }
         }
-    };
-
-    ctx.metrics.inc("engine.batches");
-    ctx.metrics.observe("engine.batch_size", len as f64);
-    ctx.metrics.observe("engine.exec_ms", done - start);
-    let mut out = Vec::with_capacity(len);
-    for r in kept {
-        ctx.metrics.inc("engine.requests");
-        ctx.metrics.observe("engine.queue_ms", start - r.arrival_ms);
-        ctx.metrics
-            .observe("engine.latency_ms", done - r.arrival_ms);
-        ctx.slo.good(done);
-        ctx.spans.record(SpanRecord {
-            name: format!("req{}", r.id),
-            category: "request".into(),
-            start_us: start * 1000.0,
-            dur_us: (done - start) * 1000.0,
-            lane: LANE_WORKER_BASE + w as u32,
-            attrs: vec![
-                ("batch".into(), len.to_string()),
-                ("worker".into(), w.to_string()),
-                ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
-                ("device".into(), if degraded { "cpu" } else { "gpu" }.into()),
-            ],
-            trace: ctx.cfg.request_trace(r),
-        });
-        out.push(RequestResult {
-            id: r.id,
-            arrival_ms: r.arrival_ms,
-            start_ms: start,
-            done_ms: done,
-            batch_size: len,
-            worker: w,
-            degraded,
-        });
-    }
-    lock::recover(ctx.results).extend(out);
-}
-
-/// Price the batch on the all-CPU degraded variant (graceful degradation).
-fn run_degraded(ctx: &Ctx, w: usize, idx: usize, len: usize, ready_ms: f64) -> (f64, f64, bool) {
-    let model = ctx.degraded.get_or_init(|| ctx.compiled.degraded());
-    let ms = model.estimate_batch_ms(len);
-    let start =
-        lock::recover(ctx.timeline).schedule(w, format!("batch{idx}[{len}]@cpu"), ready_ms, ms);
-    ctx.tally.degraded_batches.fetch_add(1, Ordering::Relaxed);
-    ctx.metrics.inc("engine.degraded_batches");
-    (start, start + ms, true)
-}
-
-/// One worker: pop batches until the queue closes and drains. Each batch
-/// runs under `catch_unwind`; a panic restarts the worker and retries the
-/// batch with panic injection disabled, then degrades to CPU accounting —
-/// a batch is abandoned (into the `failed` bucket) only if even that
-/// panics.
-fn worker_loop(w: usize, ctx: &Ctx) {
-    while let Some(batch) = ctx.queue.pop_batch(ctx.cfg.max_batch, ctx.cfg.batch_window) {
-        let mut settled = false;
-        for (attempt, mode) in [
-            ExecMode::Device {
-                inject_panics: true,
-            },
-            ExecMode::Device {
-                inject_panics: false,
-            },
-            ExecMode::ForceDegraded,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let outcome = catch_unwind(AssertUnwindSafe(|| process_batch(w, &batch, ctx, mode)));
-            match outcome {
-                Ok(()) => {
-                    settled = true;
-                    break;
-                }
-                Err(_) => {
-                    ctx.tally.worker_panics.fetch_add(1, Ordering::Relaxed);
-                    ctx.metrics.inc("engine.worker_panics");
-                    tel_warn!(
-                        "engine::serve",
-                        "worker {w} panicked on a batch of {} (attempt {}); restarting",
-                        batch.len(),
-                        attempt + 1
-                    );
-                }
-            }
+        for v in [
+            self.device_faults,
+            self.retries,
+            self.degraded_batches,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.worker_panics,
+        ] {
+            h = mix(h, v as u64);
         }
-        if !settled {
-            // even degraded accounting panicked: bucket the requests as
-            // failed so they are counted, never silently dropped
-            ctx.metrics.add("engine.failed", batch.len() as u64);
-            for r in &batch {
-                ctx.slo.bad(r.arrival_ms);
-            }
-            lock::recover(ctx.failed).extend(batch.iter().cloned());
+        h = mix(h, self.device_idle_fraction.to_bits());
+        for u in &self.lane_utilization {
+            h = mix(h, u.to_bits());
         }
+        h = mix(h, self.slo.good);
+        h = mix(h, self.slo.bad);
+        h
     }
 }
 
-/// Serve a request set through a compiled model and report per-request
-/// latency plus throughput, with load shedding, deadlines, device-fault
-/// retry/degradation, a circuit breaker, and panic-isolated workers (see
-/// the module docs). Emits one span per request (lane `LANE_WORKER_BASE +
-/// worker`), control-plane spans on [`LANE_CONTROL`], and `engine.*`
-/// metrics: `engine.requests`/`engine.batches` counters,
-/// `engine.queue_ms`/`engine.latency_ms`/`engine.exec_ms`/`engine.batch_size`
-/// histograms, `engine.throughput_rps`/`engine.makespan_ms`/
-/// `engine.breaker_state` gauges, and the fault counters
-/// `engine.shed`/`engine.deadline_expired`/`engine.device_faults`/
-/// `engine.retries`/`engine.degraded_batches`/`engine.breaker_trips`/
-/// `engine.breaker_recoveries`/`engine.worker_panics`.
+/// Serve a pre-collected request set through a compiled model.
 ///
-/// Every span of a sampled request carries its [`TraceContext`]
-/// (deterministically derived from the request id unless the request
-/// supplied one), SLO accounting runs on the simulated clock
-/// (`engine.slo.*` gauges; completed = good, shed/expired/failed = bad),
-/// and device utilization lands in `engine.device_idle_fraction` /
-/// `engine.lane_utilization.N` gauges plus the report.
+/// Retired in favor of the streaming API: [`CompiledModel::server`] returns
+/// a [`Server`] handle with `submit`/`poll`/`drain`/`shutdown`. This shim
+/// sorts the set by arrival, submits everything, and shuts down — same
+/// scheduler, same report.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `CompiledModel::server` and `Server::submit`/`shutdown` — \
+            this free function survives as a thin shim for out-of-tree callers"
+)]
 pub fn serve(
     compiled: &CompiledModel,
     mut requests: Vec<InferenceRequest>,
@@ -797,109 +683,22 @@ pub fn serve(
     spans: &SpanRecorder,
     metrics: &MetricsRegistry,
 ) -> ServeReport {
-    let workers = cfg.concurrency.max(1);
     requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
-    let offered = requests.len();
-
-    let queue = match cfg.queue_cap {
-        Some(cap) => RequestQueue::bounded(cap),
-        None => RequestQueue::new(),
-    };
-    let timeline = Mutex::new(MultiTimeline::new(workers));
-    let results = Mutex::new(Vec::<RequestResult>::new());
-    let expired = Mutex::new(Vec::<InferenceRequest>::new());
-    let failed = Mutex::new(Vec::<InferenceRequest>::new());
-    let batches = AtomicUsize::new(0);
-    let faults = Mutex::new(DeviceFaultState::new(cfg.faults));
-    let breaker = Mutex::new(Breaker::new());
-    let degraded = OnceLock::new();
-    let tally = FaultTally::default();
-    let slo = SloTracker::new(SloConfig {
-        objective: cfg.slo_objective,
-        window_ms: cfg.slo_window_ms,
-    });
-    let mut shed = Vec::new();
-
-    let ctx = Ctx {
-        compiled,
-        cfg,
-        spans,
-        metrics,
-        queue: &queue,
-        timeline: &timeline,
-        results: &results,
-        expired: &expired,
-        failed: &failed,
-        batches: &batches,
-        faults: &faults,
-        breaker: &breaker,
-        degraded: &degraded,
-        tally: &tally,
-        slo: &slo,
-    };
-
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let ctx = &ctx;
-            scope.spawn(move || worker_loop(w, ctx));
-        }
-        // feed in arrival order; workers drain concurrently. Rejections are
-        // collected here — never silently dropped.
-        for r in requests {
-            match queue.offer(r) {
-                Admission::Accepted => {}
-                Admission::Shed(r) | Admission::Closed(r) => {
-                    metrics.inc("engine.shed");
-                    slo.bad(r.arrival_ms);
-                    shed.push(r);
-                }
-            }
-        }
-        queue.close();
-    });
-
-    let timeline = timeline.into_inner().unwrap_or_else(|p| p.into_inner());
-    let mut results = results.into_inner().unwrap_or_else(|p| p.into_inner());
-    results.sort_by_key(|r| r.id);
-    let mut expired = expired.into_inner().unwrap_or_else(|p| p.into_inner());
-    expired.sort_by_key(|r| r.id);
-    let failed = failed.into_inner().unwrap_or_else(|p| p.into_inner());
-    let breaker = breaker.into_inner().unwrap_or_else(|p| p.into_inner());
-    let makespan_ms = timeline.makespan_ms();
-    let device_idle_fraction = timeline.idle_fraction();
-    let lane_utilization = timeline.utilizations();
-    let slo_summary = slo.publish(metrics, "engine.slo", makespan_ms);
-    let report = ServeReport {
-        results,
-        batches: batches.load(Ordering::Relaxed),
-        makespan_ms,
-        timeline,
-        offered,
-        shed,
-        expired,
-        failed,
-        device_faults: tally.device_faults.load(Ordering::Relaxed),
-        retries: tally.retries.load(Ordering::Relaxed),
-        degraded_batches: tally.degraded_batches.load(Ordering::Relaxed),
-        breaker_trips: breaker.trips,
-        breaker_recoveries: breaker.recoveries,
-        worker_panics: tally.worker_panics.load(Ordering::Relaxed),
-        device_idle_fraction,
-        lane_utilization,
-        slo: slo_summary,
-    };
-    metrics.set_gauge("engine.makespan_ms", makespan_ms);
-    metrics.set_gauge("engine.throughput_rps", report.throughput_rps());
-    metrics.set_gauge("engine.breaker_state", breaker.gauge());
-    metrics.set_gauge("engine.device_idle_fraction", device_idle_fraction);
-    for (lane, u) in report.lane_utilization.iter().enumerate() {
-        metrics.set_gauge(&format!("engine.lane_utilization.{lane}"), *u);
+    let mut server = Server::with_telemetry(compiled.clone(), cfg.clone(), spans.clone(), metrics.clone());
+    for r in requests {
+        let _ = server.submit(r);
     }
-    report
+    server.shutdown()
 }
 
 impl CompiledModel {
-    /// Convenience wrapper over [`serve`].
+    /// Serve a pre-collected request set — retired convenience wrapper.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CompiledModel::server` and `Server::submit`/`shutdown` — \
+                kept as a thin shim for out-of-tree callers"
+    )]
+    #[allow(deprecated)] // the shim is allowed to call its deprecated sibling
     pub fn serve(
         &self,
         requests: Vec<InferenceRequest>,
@@ -932,6 +731,7 @@ pub fn uniform_requests(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
 
     fn req(id: usize, dims: &[usize], arrival_ms: f64) -> InferenceRequest {
         InferenceRequest {
@@ -943,28 +743,34 @@ mod tests {
     }
 
     #[test]
-    fn pop_batch_takes_contiguous_same_shape_run() {
+    fn form_batch_takes_contiguous_same_shape_run() {
         let q = RequestQueue::new();
         for i in 0..4 {
             q.push(req(i, &[1, 3, 8, 8], 0.0));
         }
         q.push(req(4, &[1, 3, 16, 16], 0.0));
-        let batch = q.pop_batch(8, Duration::from_secs(5)).unwrap();
         // flushes immediately despite the long window: a mismatched shape
         // is already waiting behind the run
-        assert_eq!(
-            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
-            vec![0, 1, 2, 3]
-        );
+        match q.form_batch(8, 0.0, 5000.0) {
+            Formation::Flush(batch) => assert_eq!(
+                batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3]
+            ),
+            other => panic!("expected flush, got {other:?}"),
+        }
         q.close();
-        let tail = q.pop_batch(8, Duration::from_secs(5)).unwrap();
-        assert_eq!(tail.len(), 1);
-        assert_eq!(tail[0].id, 4);
-        assert!(q.pop_batch(8, Duration::from_millis(1)).is_none());
+        match q.form_batch(8, 0.0, 5000.0) {
+            Formation::Flush(tail) => {
+                assert_eq!(tail.len(), 1);
+                assert_eq!(tail[0].id, 4);
+            }
+            other => panic!("expected closed flush, got {other:?}"),
+        }
+        assert_eq!(q.form_batch(8, 0.0, 1.0), Formation::Empty { closed: true });
     }
 
     #[test]
-    fn mismatched_shapes_never_coalesce() {
+    fn form_batch_mismatched_shapes_never_coalesce() {
         let q = RequestQueue::new();
         for i in 0..6 {
             let dims: &[usize] = if i % 2 == 0 {
@@ -976,7 +782,7 @@ mod tests {
         }
         q.close();
         let mut order = Vec::new();
-        while let Some(batch) = q.pop_batch(8, Duration::from_millis(1)) {
+        while let Formation::Flush(batch) = q.form_batch(8, 0.0, 1.0) {
             assert!(
                 batch.iter().all(|r| r.shape == batch[0].shape),
                 "every batch is shape-uniform"
@@ -992,23 +798,67 @@ mod tests {
     }
 
     #[test]
-    fn full_batch_flushes_without_waiting_for_the_window() {
+    fn form_batch_full_batch_flushes_without_waiting_for_the_window() {
         let q = RequestQueue::new();
         for i in 0..8 {
             q.push(req(i, &[1, 3, 8, 8], 0.0));
         }
-        let t0 = Instant::now();
-        let batch = q.pop_batch(4, Duration::from_secs(5)).unwrap();
-        assert_eq!(batch.len(), 4);
-        assert!(
-            t0.elapsed() < Duration::from_secs(1),
-            "no window stall on a full batch"
-        );
+        match q.form_batch(4, 0.0, 5000.0) {
+            Formation::Flush(batch) => assert_eq!(batch.len(), 4),
+            other => panic!("no window stall on a full batch, got {other:?}"),
+        }
         assert_eq!(q.len(), 4);
     }
 
     #[test]
-    fn window_timeout_flushes_partial_batch() {
+    fn form_batch_holds_partial_run_until_the_simulated_window() {
+        let q = RequestQueue::new();
+        for i in 0..3 {
+            q.push(req(i, &[1, 3, 8, 8], 0.0));
+        }
+        // the window opens the first time formation sees the run
+        assert_eq!(
+            q.form_batch(8, 10.0, 40.0),
+            Formation::Hold { until_ms: 50.0 }
+        );
+        assert_eq!(q.len(), 3, "held requests stay queued");
+        // still short of the window: the open time is remembered, not reset
+        assert_eq!(
+            q.form_batch(8, 30.0, 40.0),
+            Formation::Hold { until_ms: 50.0 }
+        );
+        // a fourth same-shape arrival joins the held run
+        q.push(req(3, &[1, 3, 8, 8], 0.0));
+        match q.form_batch(8, 50.0, 40.0) {
+            Formation::Flush(batch) => assert_eq!(batch.len(), 4, "window elapsed, run flushed"),
+            other => panic!("expected flush at the window, got {other:?}"),
+        }
+        assert_eq!(q.form_batch(8, 50.0, 40.0), Formation::Empty { closed: false });
+    }
+
+    #[test]
+    fn form_batch_window_reopens_per_run() {
+        let q = RequestQueue::new();
+        q.push(req(0, &[1, 3, 8, 8], 0.0));
+        assert_eq!(
+            q.form_batch(4, 0.0, 10.0),
+            Formation::Hold { until_ms: 10.0 }
+        );
+        match q.form_batch(4, 10.0, 10.0) {
+            Formation::Flush(batch) => assert_eq!(batch.len(), 1),
+            other => panic!("expected flush, got {other:?}"),
+        }
+        // the next run opens a fresh window anchored at its own first look
+        q.push(req(1, &[1, 3, 8, 8], 0.0));
+        assert_eq!(
+            q.form_batch(4, 25.0, 10.0),
+            Formation::Hold { until_ms: 35.0 }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn pop_batch_shim_still_flushes_partial_batch_on_the_wall_clock() {
         let q = RequestQueue::new();
         for i in 0..3 {
             q.push(req(i, &[1, 3, 8, 8], 0.0));
@@ -1024,7 +874,8 @@ mod tests {
     }
 
     #[test]
-    fn close_wakes_empty_waiters() {
+    #[allow(deprecated)]
+    fn close_wakes_empty_pop_batch_waiters() {
         let q = RequestQueue::new();
         std::thread::scope(|s| {
             let waiter = s.spawn(|| q.pop_batch(4, Duration::from_secs(10)));
@@ -1045,8 +896,10 @@ mod tests {
             other => panic!("expected shed, got {other:?}"),
         }
         // draining frees capacity again
-        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
-        assert_eq!(batch.len(), 2);
+        match q.form_batch(8, 0.0, 0.0) {
+            Formation::Flush(batch) => assert_eq!(batch.len(), 2),
+            other => panic!("expected flush, got {other:?}"),
+        }
         assert_eq!(q.offer(req(3, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
     }
 
@@ -1064,7 +917,7 @@ mod tests {
         }
         // ...but everything already queued still drains, in order
         let mut drained = Vec::new();
-        while let Some(batch) = q.pop_batch(2, Duration::from_millis(1)) {
+        while let Formation::Flush(batch) = q.form_batch(2, 0.0, 1.0) {
             drained.extend(batch.iter().map(|r| r.id));
         }
         assert_eq!(
@@ -1089,7 +942,74 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.offer(req(2, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
         q.close();
-        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
-        assert_eq!(batch.len(), 3);
+        match q.form_batch(8, 0.0, 1.0) {
+            Formation::Flush(batch) => assert_eq!(batch.len(), 3),
+            other => panic!("expected flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_sets_fields() {
+        let cfg = ServeConfig::builder()
+            .concurrency(4)
+            .max_batch(16)
+            .batch_window(Duration::from_millis(1))
+            .queue_cap(32)
+            .deadline_ms(125.0)
+            .max_retries(5)
+            .breaker_threshold(7)
+            .breaker_cooldown_ms(9.0)
+            .slo_objective(0.999)
+            .slo_window_ms(100.0)
+            .trace_sample_every(2)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.concurrency, 4);
+        assert_eq!(cfg.max_batch, 16);
+        assert_eq!(cfg.queue_cap, Some(32));
+        assert_eq!(cfg.deadline_ms, Some(125.0));
+        assert_eq!(cfg.max_retries, 5);
+        assert_eq!(cfg.breaker_threshold, 7);
+        assert_eq!(cfg.trace_sample_every, 2);
+        assert!(ServeConfig::builder().build().is_ok(), "defaults validate");
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        let err = |b: ServeConfigBuilder| b.build().expect_err("invalid config must not build");
+        assert_eq!(
+            err(ServeConfig::builder().concurrency(0)),
+            ConfigError::ZeroConcurrency
+        );
+        assert_eq!(
+            err(ServeConfig::builder().max_batch(0)),
+            ConfigError::ZeroMaxBatch
+        );
+        assert_eq!(
+            err(ServeConfig::builder().queue_cap(0)),
+            ConfigError::ZeroQueueCap
+        );
+        assert_eq!(
+            err(ServeConfig::builder().deadline_ms(-1.0)),
+            ConfigError::InvalidDeadline(-1.0)
+        );
+        assert!(matches!(
+            err(ServeConfig::builder().deadline_ms(f64::NAN)),
+            ConfigError::InvalidDeadline(_)
+        ));
+        assert_eq!(
+            err(ServeConfig::builder().slo_objective(1.5)),
+            ConfigError::InvalidSloObjective(1.5)
+        );
+        assert_eq!(
+            err(ServeConfig::builder().slo_window_ms(0.0)),
+            ConfigError::InvalidSloWindow(0.0)
+        );
+        assert_eq!(
+            err(ServeConfig::builder().breaker_cooldown_ms(-2.0)),
+            ConfigError::InvalidBreakerCooldown(-2.0)
+        );
+        // errors render as actionable prose
+        assert!(ConfigError::ZeroQueueCap.to_string().contains("queue_cap"));
     }
 }

@@ -1,0 +1,847 @@
+//! Event-driven serving scheduler on the simulated clock.
+//!
+//! [`Server`] replaces the retired thread-per-worker blocking loops with a
+//! discrete-event core: batch *formation* ([`RequestQueue::form_batch`]),
+//! device *execution* (launches onto [`MultiTimeline`] lanes), and
+//! *readback/accounting* are overlapping stages driven by one priority
+//! queue of simulated-time events. Multiple batches are in flight per
+//! device, and a lane never idles while compatible requests are queued —
+//! the moment a readback frees a lane, formation runs again at that exact
+//! simulated instant.
+//!
+//! **Continuous batching:** [`Server::submit`] drives the clock. A request
+//! arriving while batches are in flight joins the *next* formation slot
+//! (`engine.continuous_joins`) instead of waiting for a full drain; the
+//! flush window lives entirely on the simulated clock, so formation
+//! decisions are deterministic and replayable ([`ServeReport::digest`]).
+//! Arrivals timestamped in the past join the current simulated instant —
+//! the clock never runs backwards.
+//!
+//! Because the core is a single-threaded event loop, 10k+ in-flight
+//! requests cost 10k queue slots, not 10k OS threads. All of the
+//! fault-tolerance machinery — deadlines, shedding, transient-fault retry,
+//! CPU-degraded re-placement, the circuit breaker, panic isolation, trace
+//! contexts, and SLO accounting — runs unchanged inside the event handlers
+//! (see [`crate::serve`] for the knob-by-knob description).
+//!
+//! [`serve_phase_sequential`] keeps a deterministic rendering of the old
+//! scheduler alive as the ablation baseline: static same-shape chunks, each
+//! waiting for its *last* arrival before launch, with no partial flushes.
+
+use crate::compiled::CompiledModel;
+use crate::serve::{
+    Admission, Formation, InferenceRequest, RequestQueue, RequestResult, ServeConfig, ServeReport,
+    FAULT_LATENCY_FRACTION, LANE_CONTROL, LANE_WORKER_BASE,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use unigpu_device::{DeviceFaultState, LaunchOutcome, MultiTimeline};
+use unigpu_telemetry::{
+    tel_warn, MetricsRegistry, SloConfig, SloTracker, SpanRecord, SpanRecorder,
+};
+
+/// A batch whose execution interval is already priced on the timeline,
+/// waiting for its readback event to be accounted.
+#[derive(Debug)]
+struct Retire {
+    lane: usize,
+    /// Batch index (the formation slot) — `batch{idx}` on the timeline.
+    idx: usize,
+    start_ms: f64,
+    done_ms: f64,
+    degraded: bool,
+    kept: Vec<InferenceRequest>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A launched batch finishes: account it and free its lane.
+    Readback(Retire),
+    /// A held formation window elapses: re-run formation.
+    Flush,
+}
+
+/// One simulated-time event. Ordered by `(at_ms, seq)` so same-instant
+/// events retire in creation order — fully deterministic.
+#[derive(Debug)]
+struct Event {
+    at_ms: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms.to_bits() == other.at_ms.to_bits() && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at_ms
+            .total_cmp(&other.at_ms)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-device circuit breaker: K consecutive faults open it (batches route
+/// to the CPU variant), a simulated-clock cooldown half-opens it, and a
+/// successful probe closes it again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerPhase {
+    Closed,
+    Open { until_ms: f64 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    phase: BreakerPhase,
+    consecutive_faults: usize,
+    trips: usize,
+    recoveries: usize,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            phase: BreakerPhase::Closed,
+            consecutive_faults: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    fn gauge(&self) -> f64 {
+        match self.phase {
+            BreakerPhase::Closed => 0.0,
+            BreakerPhase::Open { .. } => 1.0,
+            BreakerPhase::HalfOpen => 2.0,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ExecMode {
+    /// Normal path: device attempts with retry/breaker, CPU on exhaustion.
+    Device { inject_panics: bool },
+    /// Last-resort path after repeated panics: price on the CPU variant
+    /// without touching the device or the panic-injection counters.
+    ForceDegraded,
+}
+
+/// Streaming serve handle — the event-driven scheduler plus its telemetry.
+///
+/// Obtain one from [`CompiledModel::server`] (fresh telemetry) or
+/// [`CompiledModel::server_with`] (caller-shared recorder/registry, e.g.
+/// for a live metrics endpoint). Feed it with [`Server::submit`], harvest
+/// completions incrementally with [`Server::poll`] or force the backlog
+/// through with [`Server::drain`], and finish with [`Server::shutdown`] for
+/// the full [`ServeReport`].
+///
+/// The handle owns the simulated clock: time advances on `submit` (to the
+/// request's arrival), on `drain`, and on `shutdown`. Everything in
+/// between — formation windows, launches, readbacks, breaker cooldowns —
+/// happens at exact simulated instants through one event queue, so a run
+/// is deterministic end to end.
+pub struct Server {
+    compiled: CompiledModel,
+    cfg: ServeConfig,
+    spans: SpanRecorder,
+    metrics: MetricsRegistry,
+    queue: RequestQueue,
+    timeline: MultiTimeline,
+    clock_ms: f64,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Deadline of the currently armed `Flush` event, if any — dedups
+    /// re-arming while a held window is already ticking.
+    flush_armed_at: Option<f64>,
+    window_ms: f64,
+    completed: Vec<RequestResult>,
+    /// How much of `completed` earlier `poll`/`drain` calls handed out.
+    harvested: usize,
+    shed: Vec<InferenceRequest>,
+    expired: Vec<InferenceRequest>,
+    failed: Vec<InferenceRequest>,
+    offered: usize,
+    batches: usize,
+    inflight: usize,
+    continuous_joins: usize,
+    faults: DeviceFaultState,
+    breaker: Breaker,
+    degraded_model: Option<CompiledModel>,
+    device_faults: usize,
+    retries: usize,
+    degraded_batches: usize,
+    worker_panics: usize,
+    slo: SloTracker,
+}
+
+impl Server {
+    /// A server with its own fresh [`SpanRecorder`] and
+    /// [`MetricsRegistry`] (see [`Server::spans`] / [`Server::metrics`]).
+    pub fn new(compiled: CompiledModel, cfg: ServeConfig) -> Self {
+        Server::with_telemetry(compiled, cfg, SpanRecorder::new(), MetricsRegistry::new())
+    }
+
+    /// A server recording into caller-owned telemetry (both types are
+    /// cheaply clonable `Arc` handles — share them with an exposition
+    /// endpoint to watch the run live).
+    pub fn with_telemetry(
+        compiled: CompiledModel,
+        cfg: ServeConfig,
+        spans: SpanRecorder,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        let queue = match cfg.queue_cap {
+            Some(cap) => RequestQueue::bounded(cap),
+            None => RequestQueue::new(),
+        };
+        let slo = SloTracker::new(SloConfig {
+            objective: cfg.slo_objective,
+            window_ms: cfg.slo_window_ms,
+        });
+        let window_ms = cfg.batch_window.as_secs_f64() * 1000.0;
+        Server {
+            timeline: MultiTimeline::new(cfg.concurrency.max(1)),
+            faults: DeviceFaultState::new(cfg.faults),
+            queue,
+            slo,
+            window_ms,
+            compiled,
+            cfg,
+            spans,
+            metrics,
+            clock_ms: 0.0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            flush_armed_at: None,
+            completed: Vec::new(),
+            harvested: 0,
+            shed: Vec::new(),
+            expired: Vec::new(),
+            failed: Vec::new(),
+            offered: 0,
+            batches: 0,
+            inflight: 0,
+            continuous_joins: 0,
+            breaker: Breaker::new(),
+            degraded_model: None,
+            device_faults: 0,
+            retries: 0,
+            degraded_batches: 0,
+            worker_panics: 0,
+        }
+    }
+
+    /// Current simulated time, ms.
+    pub fn now_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Batches launched but not yet retired by their readback event.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Requests admitted but not yet formed into a batch.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests offered so far (accepted or not).
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Requests admitted mid-flight that joined a later formation slot —
+    /// the continuous-batching count (also `engine.continuous_joins`).
+    pub fn continuous_joins(&self) -> usize {
+        self.continuous_joins
+    }
+
+    /// The span recorder this server writes to.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// The metrics registry this server writes to.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Offer one request. Advances the simulated clock to the request's
+    /// arrival (processing every event due before it — readbacks free
+    /// lanes, held windows flush), then runs admission control and
+    /// formation. `Accepted` means admitted, not completed: harvest
+    /// completions with [`Server::poll`]/[`Server::drain`]/
+    /// [`Server::shutdown`]. Rejections are accounted (`engine.shed`, SLO
+    /// bad) and also handed back to the caller.
+    ///
+    /// Arrivals are expected in non-decreasing order; an out-of-order
+    /// arrival is not an error — it simply joins the current instant.
+    pub fn submit(&mut self, req: InferenceRequest) -> Admission {
+        self.offered += 1;
+        let target = self.clock_ms.max(req.arrival_ms);
+        self.advance_to(target);
+        let mid_flight = self.inflight > 0;
+        match self.queue.offer(req) {
+            Admission::Accepted => {
+                if mid_flight {
+                    // continuous batching: this request joins the next
+                    // formation slot while earlier batches are still on
+                    // the device
+                    self.continuous_joins += 1;
+                    self.metrics.inc("engine.continuous_joins");
+                }
+                self.metrics
+                    .set_gauge("engine.queue_depth", self.queue.len() as f64);
+                self.dispatch();
+                Admission::Accepted
+            }
+            Admission::Shed(r) => {
+                self.metrics.inc("engine.shed");
+                self.slo.bad(r.arrival_ms);
+                self.shed.push(r.clone());
+                Admission::Shed(r)
+            }
+            Admission::Closed(r) => {
+                self.metrics.inc("engine.shed");
+                self.slo.bad(r.arrival_ms);
+                self.shed.push(r.clone());
+                Admission::Closed(r)
+            }
+        }
+    }
+
+    /// Hand out results completed since the last harvest. Never advances
+    /// the simulated clock.
+    pub fn poll(&mut self) -> Vec<RequestResult> {
+        let out = self.completed[self.harvested..].to_vec();
+        self.harvested = self.completed.len();
+        out
+    }
+
+    /// Run the simulated clock forward until every admitted request has
+    /// retired (held windows flush, in-flight batches read back), then
+    /// hand out the newly completed results. The queue stays open for
+    /// further submissions.
+    pub fn drain(&mut self) -> Vec<RequestResult> {
+        self.run_to_quiescence();
+        self.poll()
+    }
+
+    /// Close the queue (drain-then-reject), run every remaining event, and
+    /// produce the final report with the same accounting, gauges, and SLO
+    /// publication contract the retired blocking scheduler had.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        self.run_to_quiescence();
+        self.finalize()
+    }
+
+    /// Process every due event up to `limit`, then move the clock there
+    /// and re-run formation at the new instant.
+    fn advance_to(&mut self, limit_ms: f64) {
+        loop {
+            match self.events.peek() {
+                Some(Reverse(ev)) if ev.at_ms <= limit_ms => {
+                    let Reverse(ev) = self.events.pop().expect("peeked event");
+                    self.clock_ms = self.clock_ms.max(ev.at_ms);
+                    self.handle(ev);
+                }
+                _ => break,
+            }
+        }
+        self.clock_ms = self.clock_ms.max(limit_ms);
+        self.dispatch();
+    }
+
+    /// Drain the event queue completely; the heap only ever shrinks once
+    /// no new work can be launched, so this terminates at quiescence.
+    fn run_to_quiescence(&mut self) {
+        self.dispatch();
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.clock_ms = self.clock_ms.max(ev.at_ms);
+            self.handle(ev);
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Readback(retire) => {
+                self.retire(retire);
+                self.dispatch();
+            }
+            EventKind::Flush => {
+                if self.flush_armed_at == Some(ev.at_ms) {
+                    self.flush_armed_at = None;
+                }
+                self.dispatch();
+            }
+        }
+    }
+
+    fn push_event(&mut self, at_ms: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at_ms, seq, kind }));
+    }
+
+    /// Launch work while a lane is free at the current instant and
+    /// formation yields a batch. An underfull run arms a `Flush` event at
+    /// its window deadline instead of blocking.
+    fn dispatch(&mut self) {
+        while let Some(lane) = self.timeline.first_free_at(self.clock_ms) {
+            match self
+                .queue
+                .form_batch(self.cfg.max_batch, self.clock_ms, self.window_ms)
+            {
+                Formation::Flush(batch) => {
+                    self.metrics
+                        .set_gauge("engine.queue_depth", self.queue.len() as f64);
+                    self.execute(lane, batch);
+                }
+                Formation::Hold { until_ms } => {
+                    if self.flush_armed_at != Some(until_ms) {
+                        self.flush_armed_at = Some(until_ms);
+                        self.push_event(until_ms, EventKind::Flush);
+                    }
+                    break;
+                }
+                Formation::Empty { .. } => break,
+            }
+        }
+    }
+
+    /// Execute one formed batch on `lane` under the panic-isolation
+    /// ladder: device with injected panics → device without → forced CPU
+    /// accounting → the counted `failed` bucket.
+    fn execute(&mut self, lane: usize, batch: Vec<InferenceRequest>) {
+        for (attempt, mode) in [
+            ExecMode::Device {
+                inject_panics: true,
+            },
+            ExecMode::Device {
+                inject_panics: false,
+            },
+            ExecMode::ForceDegraded,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.try_batch(lane, &batch, mode)));
+            match outcome {
+                Ok(Some(retire)) => {
+                    self.inflight += 1;
+                    self.metrics
+                        .set_gauge("engine.inflight", self.inflight as f64);
+                    self.push_event(retire.done_ms, EventKind::Readback(retire));
+                    return;
+                }
+                // every request expired at formation: nothing launched
+                Ok(None) => return,
+                Err(_) => {
+                    self.worker_panics += 1;
+                    self.metrics.inc("engine.worker_panics");
+                    tel_warn!(
+                        "engine::serve",
+                        "lane {lane} panicked on a batch of {} (attempt {}); restarting",
+                        batch.len(),
+                        attempt + 1
+                    );
+                }
+            }
+        }
+        // even degraded accounting panicked: bucket the requests as
+        // failed so they are counted, never silently dropped
+        self.metrics.add("engine.failed", batch.len() as u64);
+        for r in &batch {
+            self.slo.bad(r.arrival_ms);
+        }
+        self.failed.extend(batch);
+    }
+
+    /// Price one batch onto the timeline (deadline filter, breaker, fault
+    /// ladder) and return its pending readback; `None` when every request
+    /// expired. Runs under `catch_unwind` — injected panics fire before
+    /// any state besides the fault counters moves.
+    fn try_batch(
+        &mut self,
+        lane: usize,
+        batch: &[InferenceRequest],
+        mode: ExecMode,
+    ) -> Option<Retire> {
+        if let ExecMode::Device {
+            inject_panics: true,
+        } = mode
+        {
+            if self.faults.worker_panic_now() {
+                panic!("injected worker panic (UNIGPU_FAULTS worker_panic_nth)");
+            }
+        }
+
+        // Deadline admission at batch formation: requests whose completion
+        // budget the batch would already blow are rejected, counted, and
+        // never executed. The projection uses the full batch; survivors
+        // ride a batch that is no larger, so it finishes no later than
+        // projected.
+        let mut kept: Vec<&InferenceRequest> = batch.iter().collect();
+        if let Some(budget) = self.cfg.deadline_ms {
+            let free = self.timeline.free_at(lane);
+            let ready = batch.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
+            let base = self.compiled.estimate_batch_ms(batch.len());
+            let factor = self.faults.throttle_factor_now();
+            let projected_done = free.max(ready) + base * factor;
+            let (ok, late): (Vec<_>, Vec<_>) = kept
+                .into_iter()
+                .partition(|r| r.arrival_ms + budget >= projected_done);
+            if !late.is_empty() {
+                self.metrics
+                    .add("engine.deadline_expired", late.len() as u64);
+                for r in &late {
+                    self.slo.bad(r.arrival_ms);
+                }
+                self.expired.extend(late.into_iter().cloned());
+            }
+            kept = ok;
+        }
+        if kept.is_empty() {
+            return None;
+        }
+
+        let len = kept.len();
+        let ready_ms = kept.iter().map(|r| r.arrival_ms).fold(0.0, f64::max);
+        let base_ms = self.compiled.estimate_batch_ms(len);
+        let idx = self.batches;
+        self.batches += 1;
+        // batch-level control spans (retries) stitch into the trace of the
+        // first sampled request riding the batch
+        let batch_trace = kept.iter().find_map(|r| self.cfg.request_trace(r));
+
+        let (start, done, degraded) = match mode {
+            ExecMode::ForceDegraded => self.run_degraded(lane, idx, len, ready_ms),
+            ExecMode::Device { .. } => {
+                let mut attempts = 0usize;
+                loop {
+                    let now = self.timeline.free_at(lane).max(ready_ms);
+                    if !self.breaker_allows_gpu(now) {
+                        break self.run_degraded(lane, idx, len, ready_ms);
+                    }
+                    match self.faults.on_launch(base_ms, len) {
+                        LaunchOutcome::Ok { duration_ms } => {
+                            let start = self.timeline.schedule(
+                                lane,
+                                format!("batch{idx}[{len}]"),
+                                ready_ms,
+                                duration_ms,
+                            );
+                            self.breaker_on_success(start + duration_ms);
+                            break (start, start + duration_ms, false);
+                        }
+                        LaunchOutcome::Fault(f) => {
+                            self.device_faults += 1;
+                            self.metrics.inc("engine.device_faults");
+                            // the failed launch occupies the lane until the
+                            // driver reports the error
+                            let cost = base_ms * FAULT_LATENCY_FRACTION;
+                            let at = self.timeline.schedule(
+                                lane,
+                                format!("fault{idx}[{f}]"),
+                                ready_ms,
+                                cost,
+                            );
+                            let open = self.breaker_on_fault(at + cost);
+                            attempts += 1;
+                            if open || !f.is_transient() || attempts > self.cfg.max_retries {
+                                break self.run_degraded(lane, idx, len, ready_ms);
+                            }
+                            self.retries += 1;
+                            self.metrics.inc("engine.retries");
+                            self.spans.record(SpanRecord {
+                                name: format!("retry batch{idx}"),
+                                category: "retry".into(),
+                                start_us: at * 1000.0,
+                                dur_us: cost * 1000.0,
+                                lane: LANE_CONTROL,
+                                attrs: vec![
+                                    ("fault".into(), f.to_string()),
+                                    ("attempt".into(), attempts.to_string()),
+                                ],
+                                trace: batch_trace.map(|t| t.child(attempts as u64)),
+                            });
+                        }
+                    }
+                }
+            }
+        };
+
+        Some(Retire {
+            lane,
+            idx,
+            start_ms: start,
+            done_ms: done,
+            degraded,
+            kept: kept.into_iter().cloned().collect(),
+        })
+    }
+
+    /// Readback/accounting stage: the batch's execution interval is
+    /// settled, so emit the per-request metrics, spans, SLO events, and
+    /// results, and free the lane for the next dispatch.
+    fn retire(&mut self, retire: Retire) {
+        self.inflight -= 1;
+        self.metrics
+            .set_gauge("engine.inflight", self.inflight as f64);
+        let Retire {
+            lane,
+            idx,
+            start_ms: start,
+            done_ms: done,
+            degraded,
+            kept,
+        } = retire;
+        let len = kept.len();
+        self.metrics.inc("engine.batches");
+        self.metrics.observe("engine.batch_size", len as f64);
+        self.metrics.observe("engine.exec_ms", done - start);
+        for r in kept {
+            self.metrics.inc("engine.requests");
+            self.metrics.observe("engine.queue_ms", start - r.arrival_ms);
+            self.metrics
+                .observe("engine.latency_ms", done - r.arrival_ms);
+            self.slo.good(done);
+            if let Some(trace) = self.cfg.request_trace(&r) {
+                self.spans.record(SpanRecord {
+                    name: format!("req{}", r.id),
+                    category: "request".into(),
+                    start_us: start * 1000.0,
+                    dur_us: (done - start) * 1000.0,
+                    lane: LANE_WORKER_BASE + lane as u32,
+                    attrs: vec![
+                        ("batch".into(), len.to_string()),
+                        ("worker".into(), lane.to_string()),
+                        ("queue_ms".into(), format!("{:.3}", start - r.arrival_ms)),
+                        ("device".into(), if degraded { "cpu" } else { "gpu" }.into()),
+                        ("slot".into(), idx.to_string()),
+                    ],
+                    trace: Some(trace),
+                });
+            }
+            self.completed.push(RequestResult {
+                id: r.id,
+                arrival_ms: r.arrival_ms,
+                start_ms: start,
+                done_ms: done,
+                batch_size: len,
+                worker: lane,
+                degraded,
+            });
+        }
+    }
+
+    /// Price the batch on the all-CPU degraded variant (graceful
+    /// degradation).
+    fn run_degraded(&mut self, lane: usize, idx: usize, len: usize, ready_ms: f64) -> (f64, f64, bool) {
+        if self.degraded_model.is_none() {
+            self.degraded_model = Some(self.compiled.degraded());
+        }
+        let model = self.degraded_model.as_ref().expect("degraded model set above");
+        let ms = model.estimate_batch_ms(len);
+        let start =
+            self.timeline
+                .schedule(lane, format!("batch{idx}[{len}]@cpu"), ready_ms, ms);
+        self.degraded_batches += 1;
+        self.metrics.inc("engine.degraded_batches");
+        (start, start + ms, true)
+    }
+
+    fn breaker_transition(&self, to: &str, gauge: f64, at_ms: f64, detail: String) {
+        self.metrics.set_gauge("engine.breaker_state", gauge);
+        self.spans.record(SpanRecord {
+            name: format!("breaker→{to}"),
+            category: "breaker".into(),
+            start_us: at_ms * 1000.0,
+            dur_us: 0.0,
+            lane: LANE_CONTROL,
+            attrs: vec![("detail".into(), detail)],
+            trace: None,
+        });
+    }
+
+    /// May this batch try the device right now? Handles the open→half-open
+    /// transition when the cooldown has elapsed on the simulated clock.
+    fn breaker_allows_gpu(&mut self, now_ms: f64) -> bool {
+        match self.breaker.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen => true,
+            BreakerPhase::Open { until_ms } if now_ms >= until_ms => {
+                self.breaker.phase = BreakerPhase::HalfOpen;
+                self.breaker_transition(
+                    "half_open",
+                    self.breaker.gauge(),
+                    now_ms,
+                    format!("cooldown elapsed at {now_ms:.3} ms; probing device"),
+                );
+                true
+            }
+            BreakerPhase::Open { .. } => false,
+        }
+    }
+
+    fn breaker_on_success(&mut self, at_ms: f64) {
+        self.breaker.consecutive_faults = 0;
+        if self.breaker.phase == BreakerPhase::HalfOpen {
+            self.breaker.phase = BreakerPhase::Closed;
+            self.breaker.recoveries += 1;
+            self.metrics.inc("engine.breaker_recoveries");
+            self.breaker_transition(
+                "closed",
+                self.breaker.gauge(),
+                at_ms,
+                "probe succeeded; device recovered".into(),
+            );
+        }
+    }
+
+    /// Record a device fault; returns `true` if the breaker is (now) open.
+    fn breaker_on_fault(&mut self, at_ms: f64) -> bool {
+        let threshold = self.cfg.breaker_threshold;
+        self.breaker.consecutive_faults += 1;
+        let trip = match self.breaker.phase {
+            BreakerPhase::HalfOpen => true, // failed probe: straight back open
+            BreakerPhase::Closed => {
+                threshold > 0 && self.breaker.consecutive_faults >= threshold
+            }
+            BreakerPhase::Open { .. } => return true,
+        };
+        if trip {
+            self.breaker.phase = BreakerPhase::Open {
+                until_ms: at_ms + self.cfg.breaker_cooldown_ms,
+            };
+            self.breaker.trips += 1;
+            self.metrics.inc("engine.breaker_trips");
+            self.breaker_transition(
+                "open",
+                self.breaker.gauge(),
+                at_ms,
+                format!(
+                    "{} consecutive fault(s); cooling down {:.1} ms",
+                    self.breaker.consecutive_faults, self.cfg.breaker_cooldown_ms
+                ),
+            );
+        }
+        trip
+    }
+
+    /// Build the final report and publish the end-of-run gauges — the same
+    /// contract the retired blocking scheduler had.
+    fn finalize(mut self) -> ServeReport {
+        self.completed.sort_by_key(|r| r.id);
+        self.expired.sort_by_key(|r| r.id);
+        self.metrics.set_gauge("engine.queue_depth", 0.0);
+        let makespan_ms = self.timeline.makespan_ms();
+        let device_idle_fraction = self.timeline.idle_fraction();
+        let lane_utilization = self.timeline.utilizations();
+        let slo_summary = self.slo.publish(&self.metrics, "engine.slo", makespan_ms);
+        let report = ServeReport {
+            results: self.completed,
+            batches: self.batches,
+            makespan_ms,
+            timeline: self.timeline,
+            offered: self.offered,
+            shed: self.shed,
+            expired: self.expired,
+            failed: self.failed,
+            device_faults: self.device_faults,
+            retries: self.retries,
+            degraded_batches: self.degraded_batches,
+            breaker_trips: self.breaker.trips,
+            breaker_recoveries: self.breaker.recoveries,
+            worker_panics: self.worker_panics,
+            device_idle_fraction,
+            lane_utilization,
+            slo: slo_summary,
+        };
+        self.metrics.set_gauge("engine.makespan_ms", makespan_ms);
+        self.metrics
+            .set_gauge("engine.throughput_rps", report.throughput_rps());
+        self.metrics
+            .set_gauge("engine.breaker_state", self.breaker.gauge());
+        self.metrics
+            .set_gauge("engine.device_idle_fraction", device_idle_fraction);
+        for (lane, u) in report.lane_utilization.iter().enumerate() {
+            self.metrics
+                .set_gauge(&format!("engine.lane_utilization.{lane}"), *u);
+        }
+        report
+    }
+}
+
+impl CompiledModel {
+    /// A streaming [`Server`] for this model with fresh telemetry.
+    pub fn server(&self, cfg: &ServeConfig) -> Server {
+        Server::new(self.clone(), cfg.clone())
+    }
+
+    /// A streaming [`Server`] recording into caller-owned telemetry.
+    pub fn server_with(
+        &self,
+        cfg: &ServeConfig,
+        spans: &SpanRecorder,
+        metrics: &MetricsRegistry,
+    ) -> Server {
+        Server::with_telemetry(self.clone(), cfg.clone(), spans.clone(), metrics.clone())
+    }
+}
+
+/// Deterministic rendering of the retired thread-per-worker scheduler, kept
+/// as the pipelining-ablation baseline.
+///
+/// Requests are statically partitioned, in arrival order, into contiguous
+/// same-shape chunks of at most `cfg.max_batch`; each chunk goes to the
+/// least-loaded lane and waits for its *last* member's arrival before
+/// launching — exactly the phase-sequential form/execute/account cycle,
+/// with none of the event-driven core's partial flushes or free-lane
+/// work stealing. Admission control is bypassed (the old feeder raced the
+/// workers; the static partition models the fair rendering of that), so
+/// run it without a queue cap. Deadlines, faults, the breaker, and panic
+/// isolation all apply unchanged, making reports directly comparable with
+/// [`Server::shutdown`]'s.
+pub fn serve_phase_sequential(
+    compiled: &CompiledModel,
+    mut requests: Vec<InferenceRequest>,
+    cfg: &ServeConfig,
+    spans: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServeReport {
+    requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+    let mut server =
+        Server::with_telemetry(compiled.clone(), cfg.clone(), spans.clone(), metrics.clone());
+    server.offered = requests.len();
+    let max = cfg.max_batch.max(1);
+    let mut chunk: Vec<InferenceRequest> = Vec::new();
+    for r in requests {
+        let boundary = chunk.len() == max || chunk.first().is_some_and(|f| f.shape != r.shape);
+        if boundary {
+            let lane = server.timeline.least_loaded();
+            server.execute(lane, std::mem::take(&mut chunk));
+        }
+        chunk.push(r);
+    }
+    if !chunk.is_empty() {
+        let lane = server.timeline.least_loaded();
+        server.execute(lane, chunk);
+    }
+    server.run_to_quiescence();
+    server.finalize()
+}

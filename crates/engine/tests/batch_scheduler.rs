@@ -1,5 +1,9 @@
 //! Batch-scheduler guarantees through the public API: shape isolation,
 //! window flushing, and the simulated-clock latency decomposition.
+//!
+//! Exercises the deprecated `compiled.serve`/`pop_batch` entry points on
+//! purpose: the shims must keep their original contract while they live.
+#![allow(deprecated)]
 
 use std::time::{Duration, Instant};
 use unigpu_device::Platform;

@@ -2,6 +2,10 @@
 //! accounting invariant (no request is ever lost or hung), circuit-breaker
 //! trip/recovery, deadline rejection, load shedding, panic isolation, and
 //! the bit-identical no-fault path.
+//!
+//! Exercises the deprecated `compiled.serve` shim on purpose: the PR 5
+//! chaos contract must hold unchanged through the legacy entry point.
+#![allow(deprecated)]
 
 use std::time::Duration;
 use unigpu_device::{DeviceFaultPlan, Platform};

@@ -3,6 +3,11 @@
 //! the Chrome export parses as JSON, latency-histogram bucket counts sum to
 //! the counted completions, and the device-idle-fraction metric agrees with
 //! the value re-derived from the exported trace.
+//!
+//! Exercises the deprecated `compiled.serve` shim on purpose: the PR 6
+//! observability contract must hold unchanged through the legacy entry
+//! point.
+#![allow(deprecated)]
 
 use std::collections::HashSet;
 use std::time::Duration;

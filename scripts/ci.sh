@@ -72,6 +72,21 @@ if [ -n "$stray_deprecated" ]; then
   fail=1
 fi
 
+# The blocking serve entry points are likewise shims now: in-tree code goes
+# through CompiledModel::server / Server::submit and RequestQueue::form_batch.
+# Sanctioned call sites:
+#   crates/engine/src/serve.rs  (the shims themselves + their unit tests)
+# */tests/ suites pin the legacy contract on purpose and are excluded.
+stray_serve=$(grep -rnE --include='*.rs' '\.serve\(|\bpop_batch\s*\(' \
+  crates src examples \
+  | grep -v '/tests/' \
+  | grep -v '^crates/engine/src/serve\.rs:' || true)
+if [ -n "$stray_serve" ]; then
+  echo "error: new caller of the deprecated serve/pop_batch shims — use CompiledModel::server:"
+  echo "$stray_serve"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
@@ -152,6 +167,31 @@ if ! grep -q '^accounting: 48 offered' "$chaos_tmp/serve.log"; then
 fi
 grep '^accounting:' "$chaos_tmp/serve.log"
 rm -rf "$chaos_tmp"
+trap - EXIT
+
+echo "==> determinism gate"
+# The event-driven scheduler must be replayable: two zero-noise runs of the
+# same workload (fresh artifact dirs, no fault plan) print byte-identical
+# ServeReport digests.
+det_tmp=$(mktemp -d)
+trap 'rm -rf "$det_tmp"' EXIT
+for run in 1 2; do
+  if ! UNIGPU_DB_DIR="$det_tmp/db$run" ./target/release/unigpu serve MobileNet1.0 \
+      --platform deeplens --requests 48 --concurrency 2 --batch 4 \
+      > "$det_tmp/run$run.log" 2>&1; then
+    echo "error: determinism serve run $run exited non-zero"
+    cat "$det_tmp/run$run.log"
+    exit 1
+  fi
+done
+d1=$(grep '^digest:' "$det_tmp/run1.log" || true)
+d2=$(grep '^digest:' "$det_tmp/run2.log" || true)
+if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+  echo "error: zero-noise serve runs are not byte-identical: '$d1' vs '$d2'"
+  exit 1
+fi
+echo "determinism gate: '$d1' reproduced across runs"
+rm -rf "$det_tmp"
 trap - EXIT
 
 echo "==> metrics endpoint smoke test"

@@ -161,7 +161,7 @@ struct ServeRun {
 
 /// Parse the shared serve flags, compile through the artifact cache, spawn
 /// the optional metrics endpoint, and drive the synthetic request stream
-/// through the batch scheduler.
+/// through the event-driven scheduler via the streaming `Server` handle.
 fn run_serve(args: &[String]) -> Result<ServeRun, CliError> {
     let name = args
         .first()
@@ -224,26 +224,35 @@ fn run_serve(args: &[String]) -> Result<ServeRun, CliError> {
     if !faults.is_noop() {
         tel_warn!("unigpu::cli", "device fault injection active: {faults:?}");
     }
-    let mut cfg = ServeConfig {
-        concurrency,
-        max_batch: batch,
-        batch_window: Duration::from_millis(window_ms),
-        queue_cap: opt(args, "--queue-cap").and_then(|s| s.parse().ok()),
-        deadline_ms: opt(args, "--deadline-ms").and_then(|s| s.parse().ok()),
-        faults,
-        ..Default::default()
-    };
+    let mut builder = ServeConfig::builder()
+        .concurrency(concurrency)
+        .max_batch(batch)
+        .batch_window(Duration::from_millis(window_ms))
+        .faults(faults);
+    if let Some(cap) = opt(args, "--queue-cap").and_then(|s| s.parse().ok()) {
+        builder = builder.queue_cap(cap);
+    }
+    if let Some(d) = opt(args, "--deadline-ms").and_then(|s| s.parse().ok()) {
+        builder = builder.deadline_ms(d);
+    }
     if let Some(v) = opt(args, "--slo-objective").and_then(|s| s.parse().ok()) {
-        cfg.slo_objective = v;
+        builder = builder.slo_objective(v);
     }
     if let Some(v) = opt(args, "--slo-window-ms").and_then(|s| s.parse().ok()) {
-        cfg.slo_window_ms = v;
+        builder = builder.slo_window_ms(v);
     }
     if let Some(v) = opt(args, "--trace-sample").and_then(|s| s.parse().ok()) {
-        cfg.trace_sample_every = v;
+        builder = builder.trace_sample_every(v);
     }
+    let cfg = builder.build().map_err(|e| CliError(format!("invalid serve config: {e}")))?;
     let spans = SpanRecorder::new();
-    let report = compiled.serve(uniform_requests(&compiled, n, interval), &cfg, &spans, &metrics);
+    // stream the synthetic arrivals through the event-driven scheduler;
+    // rejections (shed/closed) are accounted inside the server
+    let mut scheduler = compiled.server_with(&cfg, &spans, &metrics);
+    for r in uniform_requests(&compiled, n, interval) {
+        let _ = scheduler.submit(r);
+    }
+    let report = scheduler.shutdown();
     Ok(ServeRun {
         name: name.to_string(),
         platform,
@@ -316,6 +325,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         report.failed.len(),
         report.lost()
     );
+    // deterministic replay check: two zero-noise runs of the same workload
+    // must print the same digest (the ci.sh determinism gate compares them)
+    println!("digest: {:016x}", report.digest());
     if report.device_faults > 0 || report.worker_panics > 0 || report.degraded_batches > 0 {
         println!(
             "faults: {} device fault(s), {} retry(ies), {} degraded batch(es), \
