@@ -17,7 +17,7 @@ use std::time::Duration;
 use unigpu_device::{DeviceFaultPlan, Platform, Vendor};
 use unigpu_engine::{uniform_requests, Engine, ServeConfig};
 use unigpu_models::full_zoo;
-use unigpu_telemetry::{MetricsRegistry, SpanRecorder};
+use unigpu_telemetry::{AlertRule, MetricsRegistry, SpanRecorder};
 
 const REQUESTS: usize = 96;
 const WORKERS: usize = 2;
@@ -73,6 +73,10 @@ fn main() {
             .queue_cap(QUEUE_CAP)
             .deadline_ms(deadline_ms)
             .faults(faults)
+            .alert_rules(
+                AlertRule::parse_rules("burn:engine.slo.burn_rate>1,trip:engine.breaker_trips>0")
+                    .expect("valid alert rules"),
+            )
             .build()
             .expect("valid degradation config");
         let interval = capacity_interval / load_factor;
@@ -115,6 +119,10 @@ fn main() {
             "slo_burn_rate": report.slo.burn_rate,
             "slo_error_rate": report.slo.error_rate,
             "device_idle_fraction": report.device_idle_fraction,
+            "alerts_fired": report.alerts_fired,
+            "fired_alerts": report.fired_alerts,
+            "max_abs_drift": report.drift.max_abs_rel_err,
+            "drift_miscalibrated": report.drift.miscalibrated,
         }));
     }
     let path = unigpu_bench::write_bench_json(

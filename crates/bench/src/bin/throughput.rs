@@ -105,6 +105,8 @@ fn main() {
             "mean_batch_size": report.mean_batch_size(),
             "device_idle_fraction": report.device_idle_fraction,
             "lane_utilization": report.lane_utilization,
+            "alerts_fired": report.alerts_fired,
+            "max_abs_drift": report.drift.max_abs_rel_err,
         }));
     }
 
@@ -191,6 +193,8 @@ fn main() {
                     "device_idle_fraction": event_driven.device_idle_fraction,
                     "batches": event_driven.batches,
                     "makespan_ms": event_driven.makespan_ms,
+                    "alerts_fired": event_driven.alerts_fired,
+                    "max_abs_drift": event_driven.drift.max_abs_rel_err,
                 },
                 "phase_sequential": {
                     "throughput_rps": phase_seq.throughput_rps(),

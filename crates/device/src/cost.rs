@@ -139,6 +139,52 @@ impl CostModel {
     }
 }
 
+/// A frozen per-node prediction table: what the cost model claimed each
+/// node of a compiled graph would cost at compile time.
+///
+/// The serving layer's drift monitor compares these predictions against
+/// observed simulated latency; [`CostTable::predicted_ms`] is the per-node
+/// accessor that comparison keys on. Entries keep their compile-time order
+/// (the graph's execution order), and lookups scan — tables are tens of
+/// nodes, queried per retired batch, so a map would buy nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostTable {
+    entries: Vec<(String, f64)>,
+}
+
+impl CostTable {
+    pub fn new(entries: Vec<(String, f64)>) -> Self {
+        CostTable { entries }
+    }
+
+    /// Predicted latency of one node, ms. `None` when the node is not in
+    /// the table (e.g. fused away at compile time).
+    pub fn predicted_ms(&self, node: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == node)
+            .map(|&(_, ms)| ms)
+    }
+
+    /// Sum of every per-node prediction, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.entries.iter().map(|&(_, ms)| ms).sum()
+    }
+
+    /// The `(node, predicted ms)` entries in compile-time order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +313,22 @@ mod tests {
         let ms = m.kernel_time_ms(&p);
         let expect = m.spec().launch_overhead_us * 1e-3 * m.spec().calibration;
         assert!((ms - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_table_lookups_and_total() {
+        let t = CostTable::new(vec![
+            ("conv0".to_string(), 1.5),
+            ("relu0".to_string(), 0.25),
+            ("conv1".to_string(), 2.25),
+        ]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.predicted_ms("conv1"), Some(2.25));
+        assert_eq!(t.predicted_ms("missing"), None);
+        assert!((t.total_ms() - 4.0).abs() < 1e-12);
+        assert_eq!(t.entries()[0].0, "conv0");
+        assert_eq!(CostTable::default().total_ms(), 0.0);
+        assert!(CostTable::default().is_empty());
     }
 }

@@ -33,7 +33,7 @@ pub mod profile;
 pub mod spec;
 pub mod timeline;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, CostTable};
 pub use exec::{dispatch_chunks, dispatch_map, group_barrier_loop, parallel_for_each_index, Launch};
 pub use fault::{DeviceFault, DeviceFaultPlan, DeviceFaultState, LaunchOutcome};
 pub use profile::{KernelProfile, TransferProfile};

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use unigpu_device::{DeviceSpec, Platform};
+use unigpu_device::{CostTable, DeviceSpec, Platform};
 use unigpu_graph::latency::FallbackSchedules;
 use unigpu_graph::passes::optimize;
 use unigpu_graph::{
@@ -544,6 +544,22 @@ impl CompiledModel {
     /// Compile-time per-node cost table, (node name, ms).
     pub fn cost_table(&self) -> &[(String, f64)] {
         &self.inner.cost_table
+    }
+
+    /// The compile-time predictions as a [`CostTable`] — the per-node
+    /// predicted-latency view the drift monitor compares observations
+    /// against.
+    pub fn predicted_costs(&self) -> CostTable {
+        CostTable::new(self.inner.cost_table.clone())
+    }
+
+    /// Predicted latency of one node from the compile-time cost table, ms.
+    pub fn predicted_node_ms(&self, node: &str) -> Option<f64> {
+        self.inner
+            .cost_table
+            .iter()
+            .find(|(n, _)| n == node)
+            .map(|&(_, ms)| ms)
     }
 
     /// The model's (first) input shape.

@@ -48,10 +48,13 @@ use crate::lock;
 use crate::server::Server;
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use unigpu_device::{DeviceFaultPlan, MultiTimeline};
-use unigpu_telemetry::{MetricsRegistry, SloSummary, SpanRecorder, TraceContext};
+use unigpu_telemetry::{
+    AlertRule, DriftSummary, MetricsRegistry, SloSummary, SpanRecorder, TraceContext,
+};
 use unigpu_tensor::Shape;
 
 /// First Chrome-trace lane used by serving workers (lanes 0–2 belong to the
@@ -121,6 +124,26 @@ pub struct ServeConfig {
     /// `0` disables tracing. Sampling bounds span-arg overhead at high
     /// offered load without losing the deterministic id derivation.
     pub trace_sample_every: usize,
+    /// Mean |relative error| between predicted and observed latency at or
+    /// above which the model is flagged miscalibrated (`engine.drift.*`).
+    pub drift_threshold: f64,
+    /// Graph-level drift samples required before the miscalibration
+    /// verdict is trusted.
+    pub drift_min_samples: u64,
+    /// Events the always-on flight recorder retains.
+    pub recorder_capacity: usize,
+    /// Directory triggered flight-recorder dumps are written to. `None`
+    /// (the default) keeps the recorder in-memory only — no disk I/O on
+    /// the serving path.
+    pub recorder_dump_dir: Option<PathBuf>,
+    /// Directory a re-tune recommendation is appended to (as
+    /// `retune.jsonl`) when the run ends miscalibrated. The CLI wires
+    /// `$UNIGPU_DB_DIR/retune` here; `None` disables the record.
+    pub retune_dir: Option<PathBuf>,
+    /// Declarative alert rules evaluated on the simulated clock at each
+    /// batch retirement (see [`AlertRule::parse_rules`]). Empty = no
+    /// alerting overhead.
+    pub alert_rules: Vec<AlertRule>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +161,12 @@ impl Default for ServeConfig {
             slo_objective: 0.99,
             slo_window_ms: 250.0,
             trace_sample_every: 1,
+            drift_threshold: 0.25,
+            drift_min_samples: 8,
+            recorder_capacity: 256,
+            recorder_dump_dir: None,
+            retune_dir: None,
+            alert_rules: Vec::new(),
         }
     }
 }
@@ -181,6 +210,10 @@ pub enum ConfigError {
     InvalidSloWindow(f64),
     /// The breaker cooldown must be non-negative and finite.
     InvalidBreakerCooldown(f64),
+    /// The drift threshold must be positive and finite.
+    InvalidDriftThreshold(f64),
+    /// The flight recorder must retain at least one event.
+    ZeroRecorderCapacity,
 }
 
 impl fmt::Display for ConfigError {
@@ -200,6 +233,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidBreakerCooldown(c) => {
                 write!(f, "breaker_cooldown_ms must be non-negative and finite, got {c}")
+            }
+            ConfigError::InvalidDriftThreshold(t) => {
+                write!(f, "drift_threshold must be positive and finite, got {t}")
+            }
+            ConfigError::ZeroRecorderCapacity => {
+                write!(f, "recorder_capacity must be >= 1")
             }
         }
     }
@@ -274,6 +313,36 @@ impl ServeConfigBuilder {
         self
     }
 
+    pub fn drift_threshold(mut self, threshold: f64) -> Self {
+        self.cfg.drift_threshold = threshold;
+        self
+    }
+
+    pub fn drift_min_samples(mut self, samples: u64) -> Self {
+        self.cfg.drift_min_samples = samples;
+        self
+    }
+
+    pub fn recorder_capacity(mut self, events: usize) -> Self {
+        self.cfg.recorder_capacity = events;
+        self
+    }
+
+    pub fn recorder_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.recorder_dump_dir = Some(dir.into());
+        self
+    }
+
+    pub fn retune_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.retune_dir = Some(dir.into());
+        self
+    }
+
+    pub fn alert_rules(mut self, rules: Vec<AlertRule>) -> Self {
+        self.cfg.alert_rules = rules;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
         let cfg = self.cfg;
@@ -299,6 +368,12 @@ impl ServeConfigBuilder {
         }
         if !cfg.breaker_cooldown_ms.is_finite() || cfg.breaker_cooldown_ms < 0.0 {
             return Err(ConfigError::InvalidBreakerCooldown(cfg.breaker_cooldown_ms));
+        }
+        if !cfg.drift_threshold.is_finite() || cfg.drift_threshold <= 0.0 {
+            return Err(ConfigError::InvalidDriftThreshold(cfg.drift_threshold));
+        }
+        if cfg.recorder_capacity == 0 {
+            return Err(ConfigError::ZeroRecorderCapacity);
         }
         Ok(cfg)
     }
@@ -579,6 +654,19 @@ pub struct ServeReport {
     /// SLO digest at the makespan: completed = good, shed/expired/failed =
     /// bad, burn rate over [`ServeConfig::slo_window_ms`].
     pub slo: SloSummary,
+    /// Cost-model drift digest: predicted vs observed latency over the
+    /// run, with the miscalibration verdict judged against
+    /// [`ServeConfig::drift_threshold`].
+    pub drift: DriftSummary,
+    /// Alert fire edges over the run (`engine.alert.fired`).
+    pub alerts_fired: u64,
+    /// Alert resolve edges over the run.
+    pub alerts_resolved: u64,
+    /// Names of alert rules that fired at least once, in rule order.
+    pub fired_alerts: Vec<String>,
+    /// Flight-recorder dump files written during the run (empty unless
+    /// [`ServeConfig::recorder_dump_dir`] is set and a trigger fired).
+    pub recorder_dumps: Vec<PathBuf>,
 }
 
 impl ServeReport {
@@ -661,6 +749,20 @@ impl ServeReport {
         }
         h = mix(h, self.slo.good);
         h = mix(h, self.slo.bad);
+        h = mix(h, self.drift.samples);
+        h = mix(h, self.drift.mean_abs_rel_err.to_bits());
+        h = mix(h, self.drift.max_abs_rel_err.to_bits());
+        h = mix(h, u64::from(self.drift.miscalibrated));
+        h = mix(h, self.alerts_fired);
+        h = mix(h, self.alerts_resolved);
+        for name in &self.fired_alerts {
+            for b in name.bytes() {
+                h = mix(h, u64::from(b));
+            }
+        }
+        // Dump *count* is deterministic; the paths embed the caller's dump
+        // directory, so they stay out of the digest.
+        h = mix(h, self.recorder_dumps.len() as u64);
         h
     }
 }
@@ -962,6 +1064,12 @@ mod tests {
             .slo_objective(0.999)
             .slo_window_ms(100.0)
             .trace_sample_every(2)
+            .drift_threshold(0.5)
+            .drift_min_samples(3)
+            .recorder_capacity(64)
+            .recorder_dump_dir("target/dumps")
+            .retune_dir("target/retune")
+            .alert_rules(vec![AlertRule::parse("burn:engine.slo.burn_rate>2").unwrap()])
             .build()
             .expect("valid config");
         assert_eq!(cfg.concurrency, 4);
@@ -971,6 +1079,12 @@ mod tests {
         assert_eq!(cfg.max_retries, 5);
         assert_eq!(cfg.breaker_threshold, 7);
         assert_eq!(cfg.trace_sample_every, 2);
+        assert_eq!(cfg.drift_threshold, 0.5);
+        assert_eq!(cfg.drift_min_samples, 3);
+        assert_eq!(cfg.recorder_capacity, 64);
+        assert_eq!(cfg.recorder_dump_dir, Some(PathBuf::from("target/dumps")));
+        assert_eq!(cfg.retune_dir, Some(PathBuf::from("target/retune")));
+        assert_eq!(cfg.alert_rules.len(), 1);
         assert!(ServeConfig::builder().build().is_ok(), "defaults validate");
     }
 
@@ -1008,6 +1122,18 @@ mod tests {
         assert_eq!(
             err(ServeConfig::builder().breaker_cooldown_ms(-2.0)),
             ConfigError::InvalidBreakerCooldown(-2.0)
+        );
+        assert_eq!(
+            err(ServeConfig::builder().drift_threshold(0.0)),
+            ConfigError::InvalidDriftThreshold(0.0)
+        );
+        assert!(matches!(
+            err(ServeConfig::builder().drift_threshold(f64::NAN)),
+            ConfigError::InvalidDriftThreshold(_)
+        ));
+        assert_eq!(
+            err(ServeConfig::builder().recorder_capacity(0)),
+            ConfigError::ZeroRecorderCapacity
         );
         // errors render as actionable prose
         assert!(ConfigError::ZeroQueueCap.to_string().contains("queue_cap"));

@@ -34,12 +34,22 @@ use crate::serve::{
     FAULT_LATENCY_FRACTION, LANE_CONTROL, LANE_WORKER_BASE,
 };
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use unigpu_device::{DeviceFaultState, LaunchOutcome, MultiTimeline};
 use unigpu_telemetry::{
-    tel_warn, MetricsRegistry, SloConfig, SloTracker, SpanRecord, SpanRecorder,
+    append_retune_recommendation, tel_warn, AlertEngine, DriftConfig, DriftMonitor, FlightRecorder,
+    MetricsRegistry, RetuneRecommendation, SloConfig, SloTracker, SpanRecord, SpanRecorder,
 };
+
+/// Deadline expiries within [`DEADLINE_BURST_WINDOW_MS`] that trip a
+/// flight-recorder dump.
+const DEADLINE_BURST_COUNT: usize = 4;
+/// Sliding simulated-time window for the deadline-burst trigger, ms.
+const DEADLINE_BURST_WINDOW_MS: f64 = 50.0;
+/// SLO burn rate above which the (once-per-run) burn dump triggers.
+const BURN_DUMP_THRESHOLD: f64 = 2.0;
 
 /// A batch whose execution interval is already priced on the timeline,
 /// waiting for its readback event to be accounted.
@@ -185,6 +195,18 @@ pub struct Server {
     degraded_batches: usize,
     worker_panics: usize,
     slo: SloTracker,
+    /// Always-on bounded ring of recent scheduler events (simulated clock).
+    recorder: FlightRecorder,
+    /// Predicted-vs-observed latency accounting against the cost table.
+    drift: DriftMonitor,
+    /// Declarative threshold alerting over the metrics registry.
+    alerts: AlertEngine,
+    /// Flight-recorder dump files written so far this run.
+    dumps: Vec<PathBuf>,
+    /// Simulated times of recent deadline expiries (burst trigger window).
+    recent_expiries: VecDeque<f64>,
+    /// The SLO burn-rate dump fires at most once per run.
+    burn_dumped: bool,
 }
 
 impl Server {
@@ -212,6 +234,12 @@ impl Server {
             window_ms: cfg.slo_window_ms,
         });
         let window_ms = cfg.batch_window.as_secs_f64() * 1000.0;
+        let recorder = FlightRecorder::new(cfg.recorder_capacity);
+        let drift = DriftMonitor::new(DriftConfig {
+            threshold: cfg.drift_threshold,
+            min_samples: cfg.drift_min_samples,
+        });
+        let alerts = AlertEngine::new(cfg.alert_rules.clone());
         Server {
             timeline: MultiTimeline::new(cfg.concurrency.max(1)),
             faults: DeviceFaultState::new(cfg.faults),
@@ -241,6 +269,12 @@ impl Server {
             retries: 0,
             degraded_batches: 0,
             worker_panics: 0,
+            recorder,
+            drift,
+            alerts,
+            dumps: Vec::new(),
+            recent_expiries: VecDeque::new(),
+            burn_dumped: false,
         }
     }
 
@@ -295,6 +329,7 @@ impl Server {
         let target = self.clock_ms.max(req.arrival_ms);
         self.advance_to(target);
         let mid_flight = self.inflight > 0;
+        let id = req.id;
         match self.queue.offer(req) {
             Admission::Accepted => {
                 if mid_flight {
@@ -304,6 +339,8 @@ impl Server {
                     self.continuous_joins += 1;
                     self.metrics.inc("engine.continuous_joins");
                 }
+                self.recorder
+                    .record(self.clock_ms, "admit", &[("id", id.to_string())]);
                 self.metrics
                     .set_gauge("engine.queue_depth", self.queue.len() as f64);
                 self.dispatch();
@@ -312,12 +349,16 @@ impl Server {
             Admission::Shed(r) => {
                 self.metrics.inc("engine.shed");
                 self.slo.bad(r.arrival_ms);
+                self.recorder
+                    .record(self.clock_ms, "shed", &[("id", id.to_string())]);
                 self.shed.push(r.clone());
                 Admission::Shed(r)
             }
             Admission::Closed(r) => {
                 self.metrics.inc("engine.shed");
                 self.slo.bad(r.arrival_ms);
+                self.recorder
+                    .record(self.clock_ms, "shed", &[("id", id.to_string()), ("closed", "1".into())]);
                 self.shed.push(r.clone());
                 Admission::Closed(r)
             }
@@ -454,6 +495,16 @@ impl Server {
                 Err(_) => {
                     self.worker_panics += 1;
                     self.metrics.inc("engine.worker_panics");
+                    self.recorder.record(
+                        self.clock_ms,
+                        "panic",
+                        &[
+                            ("lane", lane.to_string()),
+                            ("n", batch.len().to_string()),
+                            ("attempt", (attempt + 1).to_string()),
+                        ],
+                    );
+                    self.dump_recorder("panic");
                     tel_warn!(
                         "engine::serve",
                         "lane {lane} panicked on a batch of {} (attempt {}); restarting",
@@ -466,6 +517,8 @@ impl Server {
         // even degraded accounting panicked: bucket the requests as
         // failed so they are counted, never silently dropped
         self.metrics.add("engine.failed", batch.len() as u64);
+        self.recorder
+            .record(self.clock_ms, "failed", &[("n", batch.len().to_string())]);
         for r in &batch {
             self.slo.bad(r.arrival_ms);
         }
@@ -511,6 +564,26 @@ impl Server {
                     .add("engine.deadline_expired", late.len() as u64);
                 for r in &late {
                     self.slo.bad(r.arrival_ms);
+                    self.recorder.record(
+                        self.clock_ms,
+                        "deadline_expired",
+                        &[
+                            ("id", r.id.to_string()),
+                            ("projected_done", format!("{projected_done:.3}")),
+                        ],
+                    );
+                    self.recent_expiries.push_back(self.clock_ms);
+                }
+                while self
+                    .recent_expiries
+                    .front()
+                    .is_some_and(|t| *t < self.clock_ms - DEADLINE_BURST_WINDOW_MS)
+                {
+                    self.recent_expiries.pop_front();
+                }
+                if self.recent_expiries.len() >= DEADLINE_BURST_COUNT {
+                    self.recent_expiries.clear();
+                    self.dump_recorder("deadline_burst");
                 }
                 self.expired.extend(late.into_iter().cloned());
             }
@@ -552,6 +625,11 @@ impl Server {
                         LaunchOutcome::Fault(f) => {
                             self.device_faults += 1;
                             self.metrics.inc("engine.device_faults");
+                            self.recorder.record(
+                                now,
+                                "fault",
+                                &[("slot", idx.to_string()), ("fault", f.to_string())],
+                            );
                             // the failed launch occupies the lane until the
                             // driver reports the error
                             let cost = base_ms * FAULT_LATENCY_FRACTION;
@@ -568,6 +646,11 @@ impl Server {
                             }
                             self.retries += 1;
                             self.metrics.inc("engine.retries");
+                            self.recorder.record(
+                                at + cost,
+                                "retry",
+                                &[("slot", idx.to_string()), ("attempt", attempts.to_string())],
+                            );
                             self.spans.record(SpanRecord {
                                 name: format!("retry batch{idx}"),
                                 category: "retry".into(),
@@ -585,6 +668,18 @@ impl Server {
                 }
             }
         };
+
+        self.recorder.record(
+            start,
+            "launch",
+            &[
+                ("slot", idx.to_string()),
+                ("lane", lane.to_string()),
+                ("n", len.to_string()),
+                ("done", format!("{done:.3}")),
+                ("device", if degraded { "cpu" } else { "gpu" }.into()),
+            ],
+        );
 
         Some(Retire {
             lane,
@@ -648,6 +743,99 @@ impl Server {
                 degraded,
             });
         }
+        self.recorder.record(
+            done,
+            "retire",
+            &[
+                ("slot", idx.to_string()),
+                ("lane", lane.to_string()),
+                ("n", len.to_string()),
+                ("device", if degraded { "cpu" } else { "gpu" }.into()),
+            ],
+        );
+        // Drift tap: the cost table predicted this batch's latency; the
+        // timeline interval (throttle, fault retries folded in) is the
+        // observation. Batches priced on the CPU-degraded variant say
+        // nothing about the GPU cost table and are excluded.
+        if !degraded {
+            let predicted = self.compiled.estimate_batch_ms(len);
+            let observed = done - start;
+            self.drift.record_graph(predicted, observed);
+            let table = self.compiled.cost_table();
+            let total: f64 = table.iter().map(|(_, ms)| ms).sum();
+            if predicted > 0.0 && total > 0.0 {
+                // The simulator observes batch-level latency only, so each
+                // node's observation is apportioned by its predicted share:
+                // every node inherits the batch's relative error.
+                let scale = predicted / total;
+                let factor = observed / predicted;
+                for (name, ms) in table {
+                    let node_predicted = ms * scale;
+                    self.drift
+                        .record_node(name, node_predicted, node_predicted * factor);
+                }
+            }
+        }
+        // Alert rules run on the freshly updated registry; publish the SLO
+        // gauges first so burn-rate rules see the value at this instant.
+        // Skipped entirely when nobody is watching (no rules, no dump dir).
+        if !self.alerts.is_empty() || self.cfg.recorder_dump_dir.is_some() {
+            self.slo.publish(&self.metrics, "engine.slo", done);
+            if !self.burn_dumped
+                && self
+                    .metrics
+                    .gauge("engine.slo.burn_rate")
+                    .is_some_and(|b| b > BURN_DUMP_THRESHOLD)
+            {
+                self.burn_dumped = true;
+                self.recorder.record(done, "slo_burn", &[]);
+                self.dump_recorder("slo_burn");
+            }
+            self.evaluate_alerts(done);
+        }
+    }
+
+    /// Run the alert rules at `now_ms`, recording fire/resolve edges in
+    /// the flight recorder and dumping it on every fire edge.
+    fn evaluate_alerts(&mut self, now_ms: f64) {
+        if self.alerts.is_empty() {
+            return;
+        }
+        for t in self.alerts.evaluate(&self.metrics, now_ms) {
+            self.recorder.record(
+                now_ms,
+                if t.firing { "alert_fire" } else { "alert_resolve" },
+                &[
+                    ("rule", t.rule.clone()),
+                    ("value", format!("{:.6}", t.value)),
+                ],
+            );
+            if t.firing {
+                let trigger = format!("alert_{}", t.rule);
+                self.dump_recorder(&trigger);
+            }
+        }
+    }
+
+    /// Dump the flight recorder into the configured directory; a no-op
+    /// unless [`ServeConfig::recorder_dump_dir`] is set. Dump failures are
+    /// warnings — observability must never take the data path down.
+    fn dump_recorder(&mut self, trigger: &str) {
+        let Some(dir) = self.cfg.recorder_dump_dir.clone() else {
+            return;
+        };
+        match self.recorder.dump(&dir, trigger) {
+            Ok(path) => {
+                self.metrics.inc("engine.recorder_dumps");
+                self.dumps.push(path);
+            }
+            Err(e) => {
+                tel_warn!(
+                    "engine::serve",
+                    "flight-recorder dump ({trigger}) failed: {e}"
+                );
+            }
+        }
     }
 
     /// Price the batch on the all-CPU degraded variant (graceful
@@ -666,8 +854,10 @@ impl Server {
         (start, start + ms, true)
     }
 
-    fn breaker_transition(&self, to: &str, gauge: f64, at_ms: f64, detail: String) {
+    fn breaker_transition(&mut self, to: &str, gauge: f64, at_ms: f64, detail: String) {
         self.metrics.set_gauge("engine.breaker_state", gauge);
+        self.recorder
+            .record(at_ms, "breaker", &[("to", to.into()), ("detail", detail.clone())]);
         self.spans.record(SpanRecord {
             name: format!("breaker→{to}"),
             category: "breaker".into(),
@@ -739,6 +929,7 @@ impl Server {
                     self.breaker.consecutive_faults, self.cfg.breaker_cooldown_ms
                 ),
             );
+            self.dump_recorder("breaker_trip");
         }
         trip
     }
@@ -753,7 +944,62 @@ impl Server {
         let device_idle_fraction = self.timeline.idle_fraction();
         let lane_utilization = self.timeline.utilizations();
         let slo_summary = self.slo.publish(&self.metrics, "engine.slo", makespan_ms);
-        let report = ServeReport {
+        self.metrics.set_gauge("engine.makespan_ms", makespan_ms);
+        // same formula as ServeReport::throughput_rps, computed before the
+        // result vector moves into the report
+        let throughput_rps = if makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / (makespan_ms / 1000.0)
+        };
+        self.metrics.set_gauge("engine.throughput_rps", throughput_rps);
+        self.metrics
+            .set_gauge("engine.breaker_state", self.breaker.gauge());
+        self.metrics
+            .set_gauge("engine.device_idle_fraction", device_idle_fraction);
+        for (lane, u) in lane_utilization.iter().enumerate() {
+            self.metrics
+                .set_gauge(&format!("engine.lane_utilization.{lane}"), *u);
+        }
+        self.drift.publish(&self.metrics, "engine.drift");
+        let drift_summary = self.drift.summary();
+        if drift_summary.miscalibrated {
+            if let Some(dir) = self.cfg.retune_dir.clone() {
+                let key = self.compiled.key();
+                let rec = RetuneRecommendation {
+                    model: key.model.clone(),
+                    device: key.device.clone(),
+                    fingerprint: key.fingerprint,
+                    samples: drift_summary.samples,
+                    mean_abs_rel_err: drift_summary.mean_abs_rel_err,
+                    max_abs_rel_err: drift_summary.max_abs_rel_err,
+                    threshold: drift_summary.threshold,
+                    worst_node: drift_summary.worst_node.clone(),
+                    sim_time_ms: makespan_ms,
+                };
+                match append_retune_recommendation(&dir, &rec) {
+                    Ok(_) => self.metrics.inc("engine.drift.retune_recommendations"),
+                    Err(e) => {
+                        tel_warn!("engine::serve", "re-tune recommendation write failed: {e}");
+                    }
+                }
+            }
+        }
+        // final alert sweep over the end-of-run gauges, then the
+        // unconditional shutdown dump: every configured run leaves at
+        // least one dump, so determinism can be checked even on clean runs
+        self.evaluate_alerts(makespan_ms);
+        self.recorder.record(
+            makespan_ms,
+            "shutdown",
+            &[
+                ("offered", self.offered.to_string()),
+                ("completed", self.completed.len().to_string()),
+                ("batches", self.batches.to_string()),
+            ],
+        );
+        self.dump_recorder("shutdown");
+        ServeReport {
             results: self.completed,
             batches: self.batches,
             makespan_ms,
@@ -771,19 +1017,17 @@ impl Server {
             device_idle_fraction,
             lane_utilization,
             slo: slo_summary,
-        };
-        self.metrics.set_gauge("engine.makespan_ms", makespan_ms);
-        self.metrics
-            .set_gauge("engine.throughput_rps", report.throughput_rps());
-        self.metrics
-            .set_gauge("engine.breaker_state", self.breaker.gauge());
-        self.metrics
-            .set_gauge("engine.device_idle_fraction", device_idle_fraction);
-        for (lane, u) in report.lane_utilization.iter().enumerate() {
-            self.metrics
-                .set_gauge(&format!("engine.lane_utilization.{lane}"), *u);
+            drift: drift_summary,
+            alerts_fired: self.alerts.fired_total(),
+            alerts_resolved: self.alerts.resolved_total(),
+            fired_alerts: self
+                .alerts
+                .fired_rules()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            recorder_dumps: self.dumps,
         }
-        report
     }
 }
 

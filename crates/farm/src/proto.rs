@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
-use unigpu_tuner::{TuneJob, TuneOutcome, TuningBudget};
+use unigpu_tuner::{MeasuredDrift, TuneJob, TuneOutcome, TuningBudget};
 
 /// Upper bound on one frame body. Generous — a `Submit` for every conv in a
 /// large CNN is a few hundred KiB — but small enough that a corrupt length
@@ -60,6 +60,11 @@ pub enum Frame {
         lease_id: u64,
         batch_id: u64,
         outcome: Box<TuneOutcome>,
+        /// Measured-vs-predicted cost sample for the leased job, so the
+        /// tracker can watch cost-model calibration fleet-wide
+        /// (`farm.drift.*`). Optional so old peers interoperate.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        drift: Option<MeasuredDrift>,
     },
     /// Result reply; `duplicate` when this job's outcome was already
     /// recorded (retransmission or a re-queued copy finishing twice).
@@ -199,6 +204,38 @@ mod tests {
             !String::from_utf8_lossy(&buf).contains("trace"),
             "None must not serialize a key old peers would reject"
         );
+    }
+
+    #[test]
+    fn result_frame_without_a_drift_field_still_parses() {
+        // an old worker's Result has no "drift" key; serde(default) must
+        // fill None instead of rejecting the frame
+        let outcome = unigpu_tuner::tune_one(
+            &TuneJob {
+                index: 0,
+                workload: unigpu_ops::ConvWorkload::square(1, 8, 8, 8, 3, 1, 1),
+            },
+            &unigpu_device::DeviceSpec::intel_hd505(),
+            &TuningBudget { trials_per_workload: 1, ..Default::default() },
+        );
+        let with = Frame::Result {
+            worker_id: 1,
+            lease_id: 2,
+            batch_id: 3,
+            outcome: Box::new(outcome),
+            drift: None,
+        };
+        let body = serde_json::to_vec(&with).unwrap();
+        assert!(
+            !String::from_utf8_lossy(&body).contains("drift"),
+            "None must not serialize a key old peers would reject"
+        );
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        match read_frame(&mut Cursor::new(buf)) {
+            Ok(Frame::Result { drift, .. }) => assert_eq!(drift, None),
+            other => panic!("expected Result, got {other:?}"),
+        }
     }
 
     #[test]

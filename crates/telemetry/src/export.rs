@@ -41,6 +41,35 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// One-line `# HELP` text. Exact matches cover the headline series; the
+/// prefix fallbacks keep every exported family self-describing, which some
+/// strict scrapers and linters (e.g. `promtool check metrics`) expect.
+fn help_text(name: &str) -> &'static str {
+    match name {
+        "engine.latency_ms" => "End-to-end request latency on the simulated clock (ms).",
+        "engine.queue_ms" => "Queue wait between admission and launch (ms).",
+        "engine.requests" => "Requests admitted to the serve queue.",
+        "engine.batches" => "Batches launched on the device timeline.",
+        "engine.throughput_rps" => "Completed requests per second of simulated makespan.",
+        "engine.recorder_dumps" => "Flight-recorder dumps written to disk.",
+        _ => {
+            if name.starts_with("engine.drift") {
+                "Predicted-vs-observed cost-model drift statistic."
+            } else if name.starts_with("engine.alert") {
+                "Declarative alert-engine firing/resolution accounting."
+            } else if name.starts_with("engine.slo") {
+                "SLO burn-rate and error-budget accounting."
+            } else if name.starts_with("engine.breaker") {
+                "Device circuit-breaker state and transitions."
+            } else if name.starts_with("farm.") {
+                "Tuning-farm tracker metric."
+            } else {
+                "unigpu runtime metric."
+            }
+        }
+    }
+}
+
 fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".into()
@@ -53,23 +82,33 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// Render a snapshot in the Prometheus text exposition format. Histograms
-/// emit cumulative `_bucket{le="<upper>"}` series over the fixed log₂
-/// bucket layout (plus the mandatory `le="+Inf"`), with exact `_sum` and
-/// `_count`.
+/// Render a snapshot in the Prometheus text exposition format. Every
+/// family gets a `# HELP` and `# TYPE` comment; histograms emit cumulative
+/// `_bucket{le="<upper>"}` series over the fixed log₂ bucket layout (plus
+/// the mandatory `le="+Inf"`), with exact `_sum` and `_count`.
 pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let n = sanitize_name(name);
-        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        out.push_str(&format!(
+            "# HELP {n} {}\n# TYPE {n} counter\n{n} {v}\n",
+            help_text(name)
+        ));
     }
     for (name, v) in &snap.gauges {
         let n = sanitize_name(name);
-        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", fmt_f64(*v)));
+        out.push_str(&format!(
+            "# HELP {n} {}\n# TYPE {n} gauge\n{n} {}\n",
+            help_text(name),
+            fmt_f64(*v)
+        ));
     }
     for (name, h) in &snap.raw_histograms {
         let n = sanitize_name(name);
-        out.push_str(&format!("# TYPE {n} histogram\n"));
+        out.push_str(&format!(
+            "# HELP {n} {}\n# TYPE {n} histogram\n",
+            help_text(name)
+        ));
         let mut cumulative = 0u64;
         for (i, &c) in h.buckets.iter().enumerate() {
             cumulative += c;
@@ -313,7 +352,9 @@ mod tests {
     #[test]
     fn prometheus_text_has_types_sums_and_cumulative_buckets() {
         let text = to_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# HELP engine_requests Requests admitted to the serve queue."));
         assert!(text.contains("# TYPE engine_requests counter"));
+        assert!(text.contains("# HELP engine_latency_ms End-to-end request latency"));
         assert!(text.contains("engine_requests 48"));
         assert!(text.contains("# TYPE engine_throughput_rps gauge"));
         assert!(text.contains("engine_throughput_rps 123.5"));

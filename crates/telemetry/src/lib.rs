@@ -28,6 +28,15 @@
 //!   published as `*.slo.*` gauges.
 //! * [`export`] — **metrics exposition**: Prometheus text format, a JSON
 //!   variant, and a std-only TCP scrape endpoint ([`export::MetricsServer`]).
+//! * [`drift`] — **cost-model drift monitoring**: mergeable Welford +
+//!   log₂-bucket stats of predicted-vs-observed latency error, a
+//!   miscalibration verdict, and re-tune recommendation records.
+//! * [`recorder`] — a **flight recorder**: an always-on bounded ring of
+//!   recent serve events on the simulated clock, dumped as validated JSON
+//!   when an anomaly trips a trigger.
+//! * [`alert`] — a **deterministic alerting engine**: declarative
+//!   `name:metric>value` threshold rules evaluated on the simulated clock
+//!   against the registry, with fire/resolve hysteresis.
 //! * [`lock`] — **poison-recovering lock acquisition**, shared by every
 //!   layer so one panicking thread can never wedge observability.
 //!
@@ -37,20 +46,29 @@
 //! [`Executor`]: https://docs.rs/unigpu-graph
 //! [`Timeline`]: https://docs.rs/unigpu-device
 
+pub mod alert;
 pub mod chrome;
+pub mod drift;
 pub mod export;
 pub mod json;
 pub mod lock;
 pub mod log;
 pub mod metrics;
+pub mod recorder;
 pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use alert::{AlertEngine, AlertRule, AlertTransition, Cmp};
 pub use chrome::{ArgValue, ChromeTrace, TraceEvent};
+pub use drift::{
+    append_retune_recommendation, DriftConfig, DriftMonitor, DriftStat, DriftSummary,
+    RetuneRecommendation,
+};
 pub use export::{to_json, to_prometheus, MetricsServer};
 pub use log::{JsonlSink, Level, LogRecord, LogSink, Logger, StderrSink};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{FlightEvent, FlightRecorder};
 pub use slo::{SloConfig, SloSummary, SloTracker};
 pub use span::{SpanGuard, SpanRecord, SpanRecorder};
 pub use trace::TraceContext;

@@ -74,3 +74,85 @@ fn server_serves_both_formats_and_404s() {
     assert!(scrape(addr, "/nope").starts_with("HTTP/1.0 404"));
     server.stop();
 }
+
+/// Split an HTTP response into (declared Content-Length, body).
+fn parse_response(resp: &str) -> (usize, &str) {
+    let (head, body) = resp.split_once("\r\n\r\n").expect("complete header block");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric Content-Length");
+    (len, body)
+}
+
+#[test]
+fn concurrent_scrapes_each_get_a_complete_response() {
+    let registry = sample_registry();
+    let server = MetricsServer::spawn("127.0.0.1:0", registry).unwrap();
+    let addr = server.addr();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                s.spawn(move || {
+                    let path = if i % 2 == 0 {
+                        "/metrics"
+                    } else {
+                        "/metrics.json"
+                    };
+                    (path, scrape(addr, path))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (path, resp) = h.join().unwrap();
+            assert!(
+                resp.starts_with("HTTP/1.0 200 OK"),
+                "scrape of {path} failed: {resp:.60}"
+            );
+            let (len, body) = parse_response(&resp);
+            assert_eq!(body.len(), len, "truncated body for {path}");
+            if path == "/metrics" {
+                assert!(body.contains("engine_requests 48"));
+            } else {
+                let v: serde_json::Value = serde_json::from_str(body).unwrap();
+                assert_eq!(v["counters"]["engine.requests"], 48);
+            }
+        }
+    });
+    server.stop();
+}
+
+#[test]
+fn byte_at_a_time_slow_client_still_gets_the_full_response() {
+    let registry = sample_registry();
+    let server = MetricsServer::spawn("127.0.0.1:0", registry).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    // dribble the request line out one byte at a time (well inside the
+    // server's 2 s read timeout), finishing with the newline that lets the
+    // server respond — no client bytes trail the response, so the close
+    // cannot RST away buffered data
+    for b in b"GET /metrics HTTP/1.0" {
+        s.write_all(std::slice::from_ref(b)).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    s.write_all(b"\r\n\r\n").unwrap();
+    // and read the response back one byte at a time too
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match s.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => out.push(byte[0]),
+            Err(e) => panic!("slow read failed after {} bytes: {e}", out.len()),
+        }
+    }
+    let resp = String::from_utf8(out).unwrap();
+    assert!(resp.starts_with("HTTP/1.0 200 OK"));
+    let (len, body) = parse_response(&resp);
+    assert_eq!(body.len(), len, "slow reader saw a truncated body");
+    assert!(body.contains("engine_requests 48"));
+    server.stop();
+}

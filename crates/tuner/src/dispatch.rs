@@ -108,10 +108,42 @@ pub trait Dispatcher: Send + Sync {
     ) -> Result<Vec<TuneOutcome>, DispatchError>;
 }
 
+/// Measured-vs-predicted drift for one tuned workload: the noisy measured
+/// best cost against the analytic model's noise-free prediction for the same
+/// config. Workers ship this alongside each lease result so the tracker can
+/// watch calibration fleet-wide (`farm.drift.*`). At noise 0 the two agree
+/// exactly and the relative error is 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredDrift {
+    pub workload: String,
+    pub device: String,
+    /// Noise-free cost-model prediction for the best config, ms.
+    pub predicted_ms: f64,
+    /// Measured (noise-bearing) best cost the tuner observed, ms.
+    pub measured_ms: f64,
+}
+
+impl MeasuredDrift {
+    /// Relative error of the measurement against the prediction.
+    pub fn rel_err(&self) -> f64 {
+        unigpu_telemetry::drift::rel_err(self.predicted_ms, self.measured_ms)
+    }
+}
+
 /// Tune a single job exactly as the serial pipeline always has: build the
 /// config space, run the model-based tuner with index-derived seeds, write
 /// the convergence log, and pick the top-k candidates by true cost.
 pub fn tune_one(job: &TuneJob, spec: &DeviceSpec, budget: &TuningBudget) -> TuneOutcome {
+    tune_one_measured(job, spec, budget).0
+}
+
+/// [`tune_one`] plus the [`MeasuredDrift`] sample the farm's workers report
+/// with each lease result.
+pub fn tune_one_measured(
+    job: &TuneJob,
+    spec: &DeviceSpec,
+    budget: &TuningBudget,
+) -> (TuneOutcome, MeasuredDrift) {
     let w = &job.workload;
     let i = job.index;
     let space = ConfigSpace::build(w, spec);
@@ -146,17 +178,25 @@ pub fn tune_one(job: &TuneJob, spec: &DeviceSpec, budget: &TuningBudget) -> Tune
         })
         .collect();
 
-    TuneOutcome {
+    let predicted_ms = measurer.true_cost(w, &result.best_config);
+    let drift = MeasuredDrift {
+        workload: w.key(),
+        device: spec.name.clone(),
+        predicted_ms,
+        measured_ms: result.best_cost_ms,
+    };
+    let outcome = TuneOutcome {
         index: i,
         record: TuneRecord {
             device: spec.name.clone(),
             workload: w.key(),
             config: result.best_config,
-            cost_ms: measurer.true_cost(w, &result.best_config),
+            cost_ms: predicted_ms,
             trials: result.trials,
         },
         candidates,
-    }
+    };
+    (outcome, drift)
 }
 
 /// The original in-process serial loop.

@@ -38,8 +38,8 @@ pub mod records;
 pub mod tuners;
 
 pub use dispatch::{
-    tune_one, Candidate, DispatchError, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
-    TuneJob, TuneOutcome,
+    tune_one, tune_one_measured, Candidate, DispatchError, Dispatcher, MeasuredDrift,
+    SerialDispatcher, ThreadPoolDispatcher, TuneJob, TuneOutcome,
 };
 pub use measure::{Measurer, SimMeasurer};
 pub use pipeline::{

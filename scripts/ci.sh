@@ -274,4 +274,62 @@ echo "metrics smoke test: scraped $scraped completions from $maddr, accounting b
 cleanup_metrics
 trap - EXIT
 
+echo "==> flight recorder gate"
+# The chaos plan again, now with the flight recorder dumping: the run must
+# leave at least one dump, every dump must be valid JSON, and two zero-noise
+# runs must leave byte-identical shutdown dumps (the recorder runs entirely
+# on the simulated clock — no wall time or RNG may leak into a dump).
+rec_tmp=$(mktemp -d)
+trap 'rm -rf "$rec_tmp"' EXIT
+if ! UNIGPU_DB_DIR="$rec_tmp/db" \
+    UNIGPU_FAULTS="kernel_fail_first=4,kernel_fail_nth=9,throttle_after_ms=2:1.5,worker_panic_nth=6" \
+    ./target/release/unigpu serve MobileNet1.0 --platform deeplens \
+    --requests 48 --concurrency 2 --batch 4 --queue-cap 64 --deadline-ms 400 \
+    --recorder-dump-dir "$rec_tmp/dumps" \
+    --alert-rules 'burn:engine.slo.burn_rate>1,trip:engine.breaker_trips>0' \
+    > "$rec_tmp/serve.log" 2>&1; then
+  echo "error: chaos serve with a recorder dump dir exited non-zero"
+  cat "$rec_tmp/serve.log"
+  exit 1
+fi
+dump_count=$(find "$rec_tmp/dumps" -name 'dump-*.json' 2>/dev/null | wc -l)
+if [ "$dump_count" -lt 1 ]; then
+  echo "error: chaos serve produced no recorder dumps"
+  cat "$rec_tmp/serve.log"
+  exit 1
+fi
+for d in "$rec_tmp/dumps"/dump-*.json; do
+  if command -v python3 > /dev/null 2>&1; then
+    if ! python3 -m json.tool "$d" > /dev/null 2>&1; then
+      echo "error: recorder dump is not valid JSON: $d"
+      cat "$d"
+      exit 1
+    fi
+  elif ! grep -q '"trigger"' "$d" || ! grep -q '"events"' "$d"; then
+    echo "error: recorder dump is missing its trigger/events fields: $d"
+    cat "$d"
+    exit 1
+  fi
+done
+for run in 1 2; do
+  if ! UNIGPU_DB_DIR="$rec_tmp/det$run/db" ./target/release/unigpu serve MobileNet1.0 \
+      --platform deeplens --requests 48 --concurrency 2 --batch 4 \
+      --recorder-dump-dir "$rec_tmp/det$run/dumps" \
+      > "$rec_tmp/det$run.log" 2>&1; then
+    echo "error: zero-noise recorder run $run exited non-zero"
+    cat "$rec_tmp/det$run.log"
+    exit 1
+  fi
+done
+if ! cmp -s "$rec_tmp/det1/dumps/dump-000000-shutdown.json" \
+            "$rec_tmp/det2/dumps/dump-000000-shutdown.json"; then
+  echo "error: zero-noise recorder dumps differ between runs:"
+  diff "$rec_tmp/det1/dumps/dump-000000-shutdown.json" \
+       "$rec_tmp/det2/dumps/dump-000000-shutdown.json" || true
+  exit 1
+fi
+echo "flight recorder gate: $dump_count chaos dump(s) valid, shutdown dump reproduced byte-identically"
+rm -rf "$rec_tmp"
+trap - EXIT
+
 echo "ci: all gates passed"

@@ -9,6 +9,7 @@
 //! unigpu serve ResNet50_v1 --platform nano --requests 64 --concurrency 4 --batch 8
 //! unigpu serve ResNet50_v1 --metrics-addr 127.0.0.1:0 --port-file metrics.port --hold-ms 2000
 //! unigpu report MobileNet1.0 --requests 256 --deadline-ms 40
+//! unigpu drift ResNet50_v1 --faults throttle_after_ms=5:3.0 --drift-threshold 0.25
 //! unigpu profile MobileNet1.0 --device intel --trace trace.json
 //! unigpu tune SqueezeNet1.0 --platform aisage --trials 128 --out db.jsonl
 //! unigpu tune SqueezeNet1.0 --jobs 4 --resume
@@ -34,11 +35,11 @@ use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
 use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
 use unigpu::telemetry::{
-    tel_error, tel_warn, ChromeTrace, MetricsRegistry, MetricsServer, SpanRecorder,
+    tel_error, tel_warn, AlertRule, ChromeTrace, MetricsRegistry, MetricsServer, SpanRecorder,
 };
 use unigpu::tuner::{
-    device_db_path, tune_graph_with, Database, Dispatcher, SerialDispatcher, ThreadPoolDispatcher,
-    TuningBudget,
+    db_dir, device_db_path, tune_graph_with, Database, Dispatcher, SerialDispatcher,
+    ThreadPoolDispatcher, TuningBudget,
 };
 use unigpu::Engine;
 
@@ -145,11 +146,13 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Everything one serve run produces — shared by `serve` and `report`.
+/// Everything one serve run produces — shared by `serve`, `report`, and
+/// `drift`.
 struct ServeRun {
     name: String,
     platform: Platform,
     concurrency: usize,
+    compiled: unigpu::engine::CompiledModel,
     report: ServeReport,
     spans: SpanRecorder,
     metrics: MetricsRegistry,
@@ -244,6 +247,20 @@ fn run_serve(args: &[String]) -> Result<ServeRun, CliError> {
     if let Some(v) = opt(args, "--trace-sample").and_then(|s| s.parse().ok()) {
         builder = builder.trace_sample_every(v);
     }
+    if let Some(v) = opt(args, "--drift-threshold").and_then(|s| s.parse().ok()) {
+        builder = builder.drift_threshold(v);
+    }
+    if let Some(dir) = opt(args, "--recorder-dump-dir") {
+        builder = builder.recorder_dump_dir(dir);
+    }
+    if let Some(spec) = opt(args, "--alert-rules") {
+        let rules = AlertRule::parse_rules(spec)
+            .map_err(|e| CliError(format!("invalid --alert-rules: {e}")))?;
+        builder = builder.alert_rules(rules);
+    }
+    // miscalibration verdicts land next to the tuning database so the
+    // re-tune workflow (ROADMAP item 5) can consume them
+    builder = builder.retune_dir(db_dir().join("retune"));
     let cfg = builder.build().map_err(|e| CliError(format!("invalid serve config: {e}")))?;
     let spans = SpanRecorder::new();
     // stream the synthetic arrivals through the event-driven scheduler;
@@ -257,11 +274,47 @@ fn run_serve(args: &[String]) -> Result<ServeRun, CliError> {
         name: name.to_string(),
         platform,
         concurrency,
+        compiled,
         report,
         spans,
         metrics,
         server,
     })
+}
+
+/// Drift/alert/recorder lines shared by `serve` and `drift`.
+fn print_drift_alerts(report: &ServeReport) {
+    let drift = &report.drift;
+    if drift.samples > 0 {
+        println!(
+            "drift: {} sample(s), mean |rel err| {:.1}%, max |rel err| {:.1}% \
+             (threshold {:.0}%) — {}",
+            drift.samples,
+            drift.mean_abs_rel_err * 100.0,
+            drift.max_abs_rel_err * 100.0,
+            drift.threshold * 100.0,
+            if drift.miscalibrated {
+                "MISCALIBRATED, re-tune recommended"
+            } else {
+                "calibrated"
+            }
+        );
+    }
+    if report.alerts_fired > 0 || report.alerts_resolved > 0 {
+        println!(
+            "alerts: {} fired / {} resolved [{}]",
+            report.alerts_fired,
+            report.alerts_resolved,
+            report.fired_alerts.join(", ")
+        );
+    }
+    if !report.recorder_dumps.is_empty() {
+        println!(
+            "flight recorder: {} dump(s), last {}",
+            report.recorder_dumps.len(),
+            report.recorder_dumps.last().map(|p| p.display().to_string()).unwrap_or_default()
+        );
+    }
 }
 
 /// Headline SLO and utilization lines shared by `serve` and `report`.
@@ -340,6 +393,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             report.worker_panics
         );
     }
+    print_drift_alerts(report);
     // all requests may have been shed/expired, so the histograms are optional
     if let (Some(lat), Some(queue)) = (
         metrics.histogram_summary("engine.latency_ms"),
@@ -393,6 +447,7 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
         report.lost()
     );
     print_slo_utilization(report);
+    print_drift_alerts(report);
     let snap = run.metrics.snapshot();
     if !snap.histograms.is_empty() {
         println!("histograms:");
@@ -414,6 +469,71 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
         for (name, v) in &snap.counters {
             println!("  {name:<36} {v:>14}");
         }
+    }
+    finish_serve(args, run.server);
+    Ok(())
+}
+
+/// `unigpu drift <model> [--platform P] [--requests N] [--faults PLAN]
+/// [--drift-threshold T]` — serve a short synthetic stream and report
+/// cost-model calibration: the per-node predicted cost table, the
+/// predicted-vs-observed drift digest, and the miscalibration verdict
+/// (plus where the re-tune recommendation record was appended).
+fn cmd_drift(args: &[String]) -> Result<(), CliError> {
+    let run = run_serve(args)?;
+    let report = &run.report;
+    println!(
+        "cost-model drift report: {} on {} — {} request(s), {} batch(es)",
+        run.name,
+        run.platform.name,
+        report.offered,
+        report.batches
+    );
+    let costs = run.compiled.predicted_costs();
+    let total = costs.total_ms();
+    if !costs.is_empty() {
+        println!("predicted cost table ({} node(s), {total:.3} ms single-inference):", costs.len());
+        let mut entries: Vec<_> = costs.entries().to_vec();
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (name, ms) in entries.iter().take(12) {
+            println!(
+                "  {:<44} {:>9.3} ms  ({:>4.1}%)",
+                name,
+                ms,
+                100.0 * ms / total.max(f64::MIN_POSITIVE)
+            );
+        }
+    }
+    let drift = &report.drift;
+    if drift.samples == 0 {
+        println!("no drift samples (no batches completed on the device path)");
+        finish_serve(args, run.server);
+        return Ok(());
+    }
+    println!(
+        "graph drift: {} sample(s)  mean rel err {:+.2}%  mean |rel err| {:.2}%  max |rel err| {:.2}%",
+        drift.samples,
+        drift.mean_rel_err * 100.0,
+        drift.mean_abs_rel_err * 100.0,
+        drift.max_abs_rel_err * 100.0
+    );
+    if let Some(worst) = &drift.worst_node {
+        println!("worst node: {worst} (rel err {:+.2}%)", drift.worst_node_rel_err * 100.0);
+    }
+    if drift.miscalibrated {
+        println!(
+            "verdict: MISCALIBRATED — mean |rel err| {:.2}% >= threshold {:.0}%; \
+             re-tune recommendation appended to {}",
+            drift.mean_abs_rel_err * 100.0,
+            drift.threshold * 100.0,
+            db_dir().join("retune").join("retune.jsonl").display()
+        );
+    } else {
+        println!(
+            "verdict: calibrated — mean |rel err| {:.2}% < threshold {:.0}%",
+            drift.mean_abs_rel_err * 100.0,
+            drift.threshold * 100.0
+        );
     }
     finish_serve(args, run.server);
     Ok(())
@@ -661,9 +781,13 @@ fn usage() -> CliError {
                     [--queue-cap N] [--deadline-ms D] [--faults PLAN]\n\
                     [--metrics-addr ADDR] [--port-file F] [--hold-ms M]\n\
                     [--slo-objective F] [--slo-window-ms W] [--trace-sample N]\n\
+                    [--drift-threshold T] [--recorder-dump-dir DIR]\n\
+                    [--alert-rules name:metric>value,...]\n\
                     [--trace out.json]\n\
            report <model> [same flags as serve]\n\
                     full observability digest: SLO, utilization, histograms\n\
+           drift <model> [same flags as serve]\n\
+                    cost-model calibration: predicted vs observed, verdict\n\
            profile <model> [--device deeplens|aisage|nano] [--trace out.json]\n\
                     [--tuned] [--trials N] [--fallback]\n\
            tune <model> [--platform P] [--trials N] [--out file.jsonl]\n\
@@ -684,6 +808,7 @@ fn main() {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("drift") => cmd_drift(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("farm") => cmd_farm(&args[1..]),
