@@ -16,6 +16,7 @@
 use std::time::Duration;
 use unigpu_device::{DeviceFaultPlan, Platform, Vendor};
 use unigpu_engine::{uniform_requests, Engine, ServeConfig};
+use unigpu_fleet::{build_pool, FleetReport, ReplicaLink, ReplicaSpec, RoutePolicy, Router, RouterConfig};
 use unigpu_models::full_zoo;
 use unigpu_telemetry::{AlertRule, MetricsRegistry, SpanRecorder};
 
@@ -125,6 +126,7 @@ fn main() {
             "drift_miscalibrated": report.drift.miscalibrated,
         }));
     }
+    let fleet = fleet_sweep(&g);
     let path = unigpu_bench::write_bench_json(
         "degradation",
         &serde_json::json!({
@@ -137,7 +139,119 @@ fn main() {
             "deadline_ms": deadline_ms,
             "faults": "kernel_fail_nth=7,throttle_after_ms=200:1.5",
             "rows": rows,
+            "fleet": fleet,
         }),
     );
     println!("wrote {}", path.display());
+}
+
+/// Fleet-level degradation: shed rate and p99 versus replicas killed
+/// mid-traffic, on a 3-device heterogeneous pool behind the device-aware
+/// router, plus the pow2-vs-round-robin p99 comparison the router design
+/// bets on. Same invariant as the single-server sweep: kills degrade
+/// output, never correctness (0 lost).
+fn fleet_sweep(g: &unigpu_graph::Graph) -> serde_json::Value {
+    const FLEET_REQUESTS: usize = 96;
+    let serve = ServeConfig::builder()
+        .concurrency(1)
+        .max_batch(4)
+        .queue_cap(16)
+        .build()
+        .expect("valid fleet serve config");
+
+    let run = |kills: usize, policy: RoutePolicy, tag: &str| -> FleetReport {
+        let platforms = [
+            ("intel", Platform::deeplens()),
+            ("mali", Platform::aisage()),
+            ("nano", Platform::jetson_nano()),
+        ];
+        let specs: Vec<ReplicaSpec> = platforms
+            .iter()
+            .enumerate()
+            .map(|(i, (name, p))| {
+                let spec = ReplicaSpec::new(*name, p.clone(), serve.clone());
+                // kill the last `kills` replicas mid-traffic, staggered
+                if i >= platforms.len() - kills {
+                    spec.die_on_submit(8 + 4 * i)
+                } else {
+                    spec
+                }
+            })
+            .collect();
+        let root = std::env::temp_dir().join(format!(
+            "unigpu-bench-fleet-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let pool = build_pool(g, &specs, &root);
+        let min_pred = pool
+            .iter()
+            .map(|r| r.predicted_ms())
+            .fold(f64::INFINITY, f64::min);
+        let interval = min_pred * 0.4; // overload-ish: queues stay non-empty
+        let mut router = Router::new(
+            RouterConfig { policy, ..RouterConfig::default() },
+            pool.into_iter()
+                .map(|r| Box::new(r) as Box<dyn ReplicaLink>)
+                .collect(),
+        );
+        for id in 0..FLEET_REQUESTS {
+            router.route(id, id as f64 * interval);
+        }
+        let report = router.finish();
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(report.lost(), 0, "fleet must account for every request");
+        report
+    };
+
+    println!(
+        "=== fleet degradation — 3 heterogeneous replicas, {FLEET_REQUESTS} requests ==="
+    );
+    println!(
+        "{:>6} {:>9} {:>6} {:>8} {:>9} {:>8} {:>8}",
+        "killed", "completed", "shed", "rerouted", "p99(ms)", "deaths", "lost"
+    );
+    let mut kill_rows = Vec::new();
+    for kills in 0..=2usize {
+        let r = run(kills, RoutePolicy::PowerOfTwo, &format!("k{kills}"));
+        println!(
+            "{:>6} {:>9} {:>6} {:>8} {:>9.2} {:>8} {:>8}",
+            kills,
+            r.completed.len(),
+            r.shed.len(),
+            r.rerouted,
+            r.p99_latency_ms(),
+            r.replica_deaths,
+            r.lost()
+        );
+        let offered = r.offered.max(1) as f64;
+        kill_rows.push(serde_json::json!({
+            "replicas_killed": kills,
+            "deaths_observed": r.replica_deaths,
+            "completed": r.completed.len(),
+            "shed": r.shed.len(),
+            "expired": r.expired.len(),
+            "failed": r.failed.len(),
+            "shed_rate": r.shed.len() as f64 / offered,
+            "rerouted": r.rerouted,
+            "p99_ms": r.p99_latency_ms(),
+            "lost": r.lost(),
+        }));
+    }
+    let pow2 = run(0, RoutePolicy::PowerOfTwo, "pow2");
+    let rr = run(0, RoutePolicy::RoundRobin, "rr");
+    println!(
+        "fleet policy p99: pow2 {:.2} ms vs round-robin {:.2} ms",
+        pow2.p99_latency_ms(),
+        rr.p99_latency_ms()
+    );
+    serde_json::json!({
+        "replicas": 3,
+        "requests": FLEET_REQUESTS,
+        "rows": kill_rows,
+        "policy_p99_ms": {
+            "pow2": pow2.p99_latency_ms(),
+            "round_robin": rr.p99_latency_ms(),
+        },
+    })
 }

@@ -331,4 +331,31 @@ mod tests {
         assert_eq!(CostTable::default().total_ms(), 0.0);
         assert!(CostTable::default().is_empty());
     }
+
+    #[test]
+    fn cost_table_edge_cases() {
+        // an explicitly empty table behaves exactly like the default
+        let empty = CostTable::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.total_ms(), 0.0);
+        assert_eq!(empty.predicted_ms("conv0"), None);
+        assert_eq!(empty.entries(), &[]);
+        assert_eq!(empty, CostTable::default());
+
+        // duplicate node names: lookup scans in order, first entry wins,
+        // but total still counts every entry
+        let dup = CostTable::new(vec![
+            ("conv0".to_string(), 1.0),
+            ("conv0".to_string(), 9.0),
+        ]);
+        assert_eq!(dup.predicted_ms("conv0"), Some(1.0));
+        assert!((dup.total_ms() - 10.0).abs() < 1e-12);
+
+        // zero-cost entries are present (Some(0.0)), distinct from missing
+        let zero = CostTable::new(vec![("fused0".to_string(), 0.0)]);
+        assert_eq!(zero.predicted_ms("fused0"), Some(0.0));
+        assert_eq!(zero.predicted_ms("fused1"), None);
+        assert!(!zero.is_empty());
+    }
 }

@@ -485,6 +485,19 @@ impl RequestQueue {
         self.ready.notify_all();
     }
 
+    /// Remove and return every queued request without forming a batch —
+    /// the hard-kill path ([`Server::kill`]): a dying replica hands its
+    /// backlog back to the caller (a fleet router re-routes it to healthy
+    /// peers) instead of silently losing it. The held-window state resets;
+    /// the queue itself stays usable, though kill paths close it next.
+    ///
+    /// [`Server::kill`]: crate::server::Server::kill
+    pub fn evict(&self) -> Vec<InferenceRequest> {
+        let mut st = lock::recover(&self.state);
+        st.window_open_ms = None;
+        st.queue.drain(..).collect()
+    }
+
     pub fn len(&self) -> usize {
         lock::recover(&self.state).queue.len()
     }
@@ -765,6 +778,77 @@ impl ServeReport {
         h = mix(h, self.recorder_dumps.len() as u64);
         h
     }
+
+    /// Fold another replica's report into this one — the fleet-level
+    /// roll-up a router builds across a heterogeneous pool. Per-request
+    /// buckets concatenate (re-sorted by id), counters add, and the
+    /// makespan takes the slowest replica. The timeline keeps `self`'s
+    /// lanes (per-replica timelines stay meaningful only per replica);
+    /// `lane_utilization` concatenates so the merged idle fraction is the
+    /// lane-weighted mean. Windowed SLO statistics merge coarsely: lifetime
+    /// good/bad counts add and the lifetime error rate is recomputed, while
+    /// the windowed quantities (window error rate, burn rate) take the
+    /// *worst* replica — the fleet is burning as fast as its hottest
+    /// member. Drift samples merge sample-weighted; the miscalibration
+    /// verdict ORs (one drifting replica is a fleet problem).
+    pub fn merge(&mut self, other: ServeReport) {
+        self.results.extend(other.results);
+        self.results.sort_by_key(|r| r.id);
+        self.batches += other.batches;
+        self.makespan_ms = self.makespan_ms.max(other.makespan_ms);
+        self.offered += other.offered;
+        self.shed.extend(other.shed);
+        self.shed.sort_by_key(|r| r.id);
+        self.expired.extend(other.expired);
+        self.expired.sort_by_key(|r| r.id);
+        self.failed.extend(other.failed);
+        self.failed.sort_by_key(|r| r.id);
+        self.device_faults += other.device_faults;
+        self.retries += other.retries;
+        self.degraded_batches += other.degraded_batches;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recoveries += other.breaker_recoveries;
+        self.worker_panics += other.worker_panics;
+        let a = self.lane_utilization.len().max(1) as f64;
+        let b = other.lane_utilization.len().max(1) as f64;
+        self.device_idle_fraction =
+            (self.device_idle_fraction * a + other.device_idle_fraction * b) / (a + b);
+        self.lane_utilization.extend(other.lane_utilization);
+        self.slo.good += other.slo.good;
+        self.slo.bad += other.slo.bad;
+        let total = self.slo.good + self.slo.bad;
+        self.slo.error_rate = if total == 0 {
+            0.0
+        } else {
+            self.slo.bad as f64 / total as f64
+        };
+        self.slo.window_error_rate = self.slo.window_error_rate.max(other.slo.window_error_rate);
+        self.slo.burn_rate = self.slo.burn_rate.max(other.slo.burn_rate);
+        let budget = (1.0 - self.slo.objective).max(1e-9);
+        self.slo.budget_remaining = 1.0 - self.slo.error_rate / budget;
+        let (sa, sb) = (self.drift.samples as f64, other.drift.samples as f64);
+        if sa + sb > 0.0 {
+            self.drift.mean_rel_err =
+                (self.drift.mean_rel_err * sa + other.drift.mean_rel_err * sb) / (sa + sb);
+            self.drift.mean_abs_rel_err =
+                (self.drift.mean_abs_rel_err * sa + other.drift.mean_abs_rel_err * sb) / (sa + sb);
+        }
+        self.drift.samples += other.drift.samples;
+        self.drift.max_abs_rel_err = self.drift.max_abs_rel_err.max(other.drift.max_abs_rel_err);
+        self.drift.miscalibrated |= other.drift.miscalibrated;
+        if other.drift.worst_node_rel_err.abs() > self.drift.worst_node_rel_err.abs() {
+            self.drift.worst_node = other.drift.worst_node;
+            self.drift.worst_node_rel_err = other.drift.worst_node_rel_err;
+        }
+        self.alerts_fired += other.alerts_fired;
+        self.alerts_resolved += other.alerts_resolved;
+        for name in other.fired_alerts {
+            if !self.fired_alerts.contains(&name) {
+                self.fired_alerts.push(name);
+            }
+        }
+        self.recorder_dumps.extend(other.recorder_dumps);
+    }
 }
 
 /// Serve a pre-collected request set through a compiled model.
@@ -1027,6 +1111,111 @@ mod tests {
             vec![0, 1, 2, 3, 4],
             "no queued request lost on close"
         );
+    }
+
+    #[test]
+    fn evict_hands_back_every_queued_request() {
+        let q = RequestQueue::bounded(8);
+        for i in 0..5 {
+            assert_eq!(q.offer(req(i, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+        }
+        // open a held window so evict also exercises the window reset
+        assert!(matches!(q.form_batch(8, 0.0, 100.0), Formation::Hold { .. }));
+        let evicted = q.evict();
+        assert_eq!(
+            evicted.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "eviction preserves FIFO order"
+        );
+        assert!(q.is_empty());
+        assert_eq!(
+            q.form_batch(8, 0.0, 100.0),
+            Formation::Empty { closed: false },
+            "window state reset with the backlog"
+        );
+        // the queue stays usable after eviction
+        assert_eq!(q.offer(req(9, &[1, 3, 8, 8], 0.0)), Admission::Accepted);
+    }
+
+    #[test]
+    fn merge_rolls_up_buckets_counters_and_rates() {
+        let result = |id: usize, done: f64| RequestResult {
+            id,
+            arrival_ms: 0.0,
+            start_ms: 1.0,
+            done_ms: done,
+            batch_size: 1,
+            worker: 0,
+            degraded: false,
+        };
+        let report = |ids: &[usize], shed: &[usize], offered: usize| ServeReport {
+            results: ids.iter().map(|&i| result(i, 5.0)).collect(),
+            batches: ids.len(),
+            makespan_ms: ids.len() as f64 * 5.0,
+            timeline: MultiTimeline::new(1),
+            offered,
+            shed: shed.iter().map(|&i| req(i, &[1, 3, 8, 8], 0.0)).collect(),
+            expired: Vec::new(),
+            failed: Vec::new(),
+            device_faults: 1,
+            retries: 2,
+            degraded_batches: 0,
+            breaker_trips: 1,
+            breaker_recoveries: 1,
+            worker_panics: 0,
+            device_idle_fraction: 0.5,
+            lane_utilization: vec![0.5],
+            slo: SloSummary {
+                objective: 0.99,
+                window_ms: 250.0,
+                good: ids.len() as u64,
+                bad: shed.len() as u64,
+                error_rate: shed.len() as f64 / offered as f64,
+                window_error_rate: 0.1,
+                burn_rate: 10.0,
+                budget_remaining: 0.0,
+            },
+            drift: DriftSummary {
+                samples: 4,
+                mean_rel_err: 0.1,
+                mean_abs_rel_err: 0.2,
+                max_abs_rel_err: 0.3,
+                threshold: 0.25,
+                miscalibrated: false,
+                worst_node: None,
+                worst_node_rel_err: 0.0,
+            },
+            alerts_fired: 1,
+            alerts_resolved: 0,
+            fired_alerts: vec!["burn".into()],
+            recorder_dumps: Vec::new(),
+        };
+        let mut merged = report(&[0, 2], &[4], 3);
+        let mut other = report(&[1, 3], &[], 2);
+        other.slo.burn_rate = 25.0;
+        other.drift.miscalibrated = true;
+        other.fired_alerts = vec!["burn".into(), "trip".into()];
+        merged.merge(other);
+        assert_eq!(merged.offered, 5);
+        assert_eq!(
+            merged.results.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "merged results re-sort by id"
+        );
+        assert_eq!(merged.lost(), 0, "merge preserves the accounting invariant");
+        assert_eq!(merged.batches, 4);
+        assert_eq!(merged.device_faults, 2);
+        assert_eq!(merged.slo.good, 4);
+        assert_eq!(merged.slo.bad, 1);
+        assert_eq!(merged.slo.burn_rate, 25.0, "burn rate takes the worst replica");
+        assert_eq!(merged.drift.samples, 8);
+        assert!(merged.drift.miscalibrated, "one drifting replica flags the fleet");
+        assert_eq!(
+            merged.fired_alerts,
+            vec!["burn".to_string(), "trip".to_string()],
+            "fired alerts dedup by name"
+        );
+        assert_eq!(merged.lane_utilization.len(), 2);
     }
 
     #[test]

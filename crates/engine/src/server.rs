@@ -304,6 +304,45 @@ impl Server {
         self.continuous_joins
     }
 
+    /// Circuit-breaker state as the `engine.breaker_state` gauge encodes
+    /// it: 0 closed, 1 open, 2 half-open. A fleet router reads this on
+    /// every admission ack so tripped replicas shed to healthy peers.
+    pub fn breaker_gauge(&self) -> f64 {
+        self.breaker.gauge()
+    }
+
+    /// Simulated instant an open breaker becomes eligible to half-open;
+    /// `None` unless the breaker is open. A starved replica's clock only
+    /// advances when work arrives, so a router uses this to decide when a
+    /// request may *probe* an open replica instead of waiting forever.
+    pub fn breaker_open_until_ms(&self) -> Option<f64> {
+        match self.breaker.phase {
+            BreakerPhase::Open { until_ms } => Some(until_ms),
+            _ => None,
+        }
+    }
+
+    /// SLO burn rate at the current simulated instant (non-mutating; the
+    /// same quantity `engine.slo.burn_rate` publishes at retirement).
+    pub fn slo_burn_rate(&self) -> f64 {
+        self.slo.summary(self.clock_ms).burn_rate
+    }
+
+    /// Hard-kill this server: requests still queued (admitted but not yet
+    /// formed into a batch) are evicted and handed back for re-routing —
+    /// they leave this server's accounting entirely — while batches
+    /// already in flight run to their readback and are reported normally.
+    /// The fleet chaos invariant rests on this split: a killed replica's
+    /// report still satisfies `lost() == 0`, and the evicted backlog is
+    /// the router's to place elsewhere.
+    pub fn kill(mut self) -> (Vec<InferenceRequest>, ServeReport) {
+        let evicted = self.queue.evict();
+        self.offered -= evicted.len();
+        self.queue.close();
+        self.run_to_quiescence();
+        (evicted, self.finalize())
+    }
+
     /// The span recorder this server writes to.
     pub fn spans(&self) -> &SpanRecorder {
         &self.spans

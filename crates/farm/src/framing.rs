@@ -1,0 +1,114 @@
+//! Shared length-prefixed JSON frame codec.
+//!
+//! Every control-plane message in this workspace — the farm's tuning
+//! protocol and the fleet's serving protocol — is a 4-byte big-endian
+//! length followed by one JSON-encoded body. This module is the single
+//! place where that framing, the 16 MiB body cap, and the protocol-error
+//! taxonomy live; protocols supply their own frame enum via serde.
+//!
+//! Error contract (shared by every protocol built on this codec):
+//! - a clean peer close or truncated body surfaces as `UnexpectedEof`;
+//! - an oversized length prefix or unparseable body surfaces as
+//!   `InvalidData` — the caller should answer with its protocol's error
+//!   frame and drop the connection.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame body. Generous — a farm `Submit` for every conv
+/// in a large CNN or a fleet artifact push is a few hundred KiB — but small
+/// enough that a corrupt length prefix cannot drive a multi-GiB allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Serialize `frame` as one length-prefixed JSON message.
+pub fn write_frame<F: Serialize>(w: &mut dyn Write, frame: &F) -> io::Result<()> {
+    let body = serde_json::to_vec(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds MAX_FRAME_BYTES", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame of any serde-decodable type.
+pub fn read_frame<F: DeserializeOwned>(r: &mut dyn Read) -> io::Result<F> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix of {len} bytes exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+    use std::io::Cursor;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    #[serde(tag = "type", rename_all = "snake_case")]
+    enum Probe {
+        Ping { n: u64 },
+        Blob { data: String },
+    }
+
+    #[test]
+    fn generic_frames_round_trip() {
+        let frames = vec![Probe::Ping { n: 7 }, Probe::Blob { data: "x".repeat(1000) }];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame::<Probe>(&mut cur).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn oversized_write_is_rejected_before_hitting_the_wire() {
+        let mut buf = Vec::new();
+        let huge = Probe::Blob { data: "y".repeat(MAX_FRAME_BYTES + 1) };
+        let err = write_frame(&mut buf, &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "nothing may be written for an oversized frame");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data_without_allocating() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_frame::<Probe>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_is_an_eof_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Probe::Ping { n: 1 }).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame::<Probe>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_json_is_invalid_data() {
+        let body = b"{ not json";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame::<Probe>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`client`] — [`FarmClient`], the `Dispatcher` impl that
 //!   `tune_graph_with` uses to fan a model's workloads out to the farm.
 //! * [`proto`] — the frame format shared by all three.
+//! * [`framing`] — the protocol-agnostic length-prefixed JSON codec (also
+//!   used by the fleet serving protocol in `unigpu-fleet`).
 //! * [`fault`] — deterministic, counter-based fault injection
 //!   (`UNIGPU_FARM_FAULTS`) for exercising the re-queue machinery.
 //!
@@ -22,6 +24,7 @@
 
 pub mod client;
 pub mod fault;
+pub mod framing;
 pub mod proto;
 pub mod tracker;
 pub mod worker;

@@ -1,20 +1,20 @@
 //! Wire protocol: length-prefixed JSON frames over TCP.
 //!
-//! Every message is a 4-byte big-endian length followed by one JSON-encoded
-//! [`Frame`]. JSON keeps the frames greppable in packet dumps and reuses the
-//! serde derives the tuning records already carry; the length prefix makes
-//! framing trivial and lets the tracker reject oversized bodies before
-//! allocating. A frame that fails to parse is a protocol error: the
-//! connection is dropped, the tracker survives.
+//! Every message is one [`framing`] frame — a 4-byte big-endian length
+//! followed by one JSON-encoded [`Frame`]. JSON keeps the frames greppable
+//! in packet dumps and reuses the serde derives the tuning records already
+//! carry; the shared codec owns the length prefix, the 16 MiB cap, and the
+//! protocol-error taxonomy. A frame that fails to parse is a protocol
+//! error: the connection is dropped, the tracker survives.
+//!
+//! [`framing`]: crate::framing
 
+use crate::framing;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 use unigpu_tuner::{MeasuredDrift, TuneJob, TuneOutcome, TuningBudget};
 
-/// Upper bound on one frame body. Generous — a `Submit` for every conv in a
-/// large CNN is a few hundred KiB — but small enough that a corrupt length
-/// prefix cannot drive a multi-GiB allocation.
-pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+pub use crate::framing::MAX_FRAME_BYTES;
 
 /// Every message of the farm protocol.
 ///
@@ -102,35 +102,14 @@ pub enum Frame {
 
 /// Serialize `frame` as one length-prefixed JSON message.
 pub fn write_frame(w: &mut dyn Write, frame: &Frame) -> io::Result<()> {
-    let body = serde_json::to_vec(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if body.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame body of {} bytes exceeds MAX_FRAME_BYTES", body.len()),
-        ));
-    }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(&body)?;
-    w.flush()
+    framing::write_frame(w, frame)
 }
 
 /// Read one frame. A clean peer close surfaces as `UnexpectedEof`; an
 /// oversized length prefix or unparseable body surfaces as `InvalidData`
 /// (the caller should answer with [`Frame::Error`] and drop the connection).
 pub fn read_frame(r: &mut dyn Read) -> io::Result<Frame> {
-    let mut prefix = [0u8; 4];
-    r.read_exact(&mut prefix)?;
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length prefix of {len} bytes exceeds MAX_FRAME_BYTES"),
-        ));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    serde_json::from_slice(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {e}")))
+    framing::read_frame(r)
 }
 
 #[cfg(test)]

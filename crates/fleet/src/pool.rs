@@ -1,0 +1,126 @@
+//! In-process replica pools.
+//!
+//! Builds a heterogeneous set of [`LocalReplica`]s from platform specs,
+//! with the warm-replication flow inlined: the first replica of each
+//! device class compiles cold, its artifact is pushed into the cache
+//! directories of every later same-device replica *before* they compile,
+//! and those replicas come up warm (`from_cache() == true`). This is the
+//! same flow the TCP path performs with `FetchArtifact`/`PushArtifact`
+//! frames, minus the sockets — which makes it the deterministic substrate
+//! for the fleet chaos tests and the fleet bench.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use unigpu_device::Platform;
+use unigpu_engine::{Artifact, Engine, ServeConfig};
+use unigpu_graph::Graph;
+
+use crate::replica::LocalReplica;
+use crate::replication;
+
+/// One replica's blueprint.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    pub name: String,
+    pub platform: Platform,
+    pub serve: ServeConfig,
+    /// Deterministic chaos: hard-kill this replica on its Nth submit
+    /// (1-based; `None` = immortal).
+    pub die_on_submit: Option<usize>,
+}
+
+impl ReplicaSpec {
+    pub fn new(name: impl Into<String>, platform: Platform, serve: ServeConfig) -> Self {
+        ReplicaSpec {
+            name: name.into(),
+            platform,
+            serve,
+            die_on_submit: None,
+        }
+    }
+
+    pub fn die_on_submit(mut self, nth: usize) -> Self {
+        self.die_on_submit = Some(nth);
+        self
+    }
+}
+
+/// Build the pool. Each replica gets its own artifact-cache directory
+/// under `cache_root` (`r0`, `r1`, ... in spec order), so warm starts are
+/// attributable per replica instead of leaking through a shared cache.
+/// Returns the replicas in spec order.
+pub fn build_pool(model: &Graph, specs: &[ReplicaSpec], cache_root: &Path) -> Vec<LocalReplica> {
+    let mut donor_by_device: HashMap<String, Artifact> = HashMap::new();
+    let mut out = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let dir = cache_root.join(format!("r{i}"));
+        if let Some(artifact) = donor_by_device.get(&spec.platform.gpu.name) {
+            replication::store_in_dir(&dir, artifact);
+        }
+        let engine = Engine::builder()
+            .platform(spec.platform.clone())
+            .cache_dir(&dir)
+            .build();
+        let compiled = engine.compile(model);
+        donor_by_device
+            .entry(spec.platform.gpu.name.clone())
+            .or_insert_with(|| replication::artifact_of(&compiled));
+        let mut replica = LocalReplica::new(spec.name.clone(), &compiled, &spec.serve);
+        if let Some(nth) = spec.die_on_submit {
+            replica = replica.die_on_submit(nth);
+        }
+        out.push(replica);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::ReplicaLink;
+    use unigpu_models::full_zoo;
+
+    fn zoo_graph(name: &str) -> Graph {
+        let entry = full_zoo()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("model in zoo");
+        (entry.build)(false)
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "unigpu-fleet-pool-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn same_device_peers_start_warm_and_cross_device_peers_do_not() {
+        let model = zoo_graph("SqueezeNet1.0");
+        let serve = ServeConfig::builder().build().unwrap();
+        let specs = vec![
+            ReplicaSpec::new("intel-0", Platform::deeplens(), serve.clone()),
+            ReplicaSpec::new("intel-1", Platform::deeplens(), serve.clone()),
+            ReplicaSpec::new("nano-0", Platform::jetson_nano(), serve.clone()),
+            ReplicaSpec::new("nano-1", Platform::jetson_nano(), serve),
+        ];
+        let root = temp_root("warm");
+        let pool = build_pool(&model, &specs, &root);
+        assert_eq!(pool.len(), 4);
+        // first of each device class compiles cold; later peers ride the
+        // replicated artifact
+        assert!(!pool[0].warm_start(), "intel-0 is the intel donor");
+        assert!(pool[1].warm_start(), "intel-1 must start warm");
+        assert!(!pool[2].warm_start(), "nano-0 is the nano donor");
+        assert!(pool[3].warm_start(), "nano-1 must start warm");
+        // heterogeneous pool: predicted cost differs across device classes
+        assert_ne!(pool[0].predicted_ms(), pool[2].predicted_ms());
+        // warm peers predict identically to their donor: same cost table
+        assert_eq!(pool[0].predicted_ms(), pool[1].predicted_ms());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

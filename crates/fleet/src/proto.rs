@@ -1,0 +1,237 @@
+//! Fleet wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is one [`framing`] frame — the same 4-byte big-endian
+//! length + JSON codec the tuning farm speaks, reused verbatim so the
+//! length prefix, the 16 MiB cap, and the protocol-error taxonomy live in
+//! exactly one place. The conversation is strictly router-driven
+//! request/response: the router sends one frame, the replica answers with
+//! one frame, in order. No frame is ever unsolicited, which keeps the
+//! exchange deterministic and trivially replayable.
+//!
+//! [`framing`]: unigpu_farm::framing
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use unigpu_farm::framing;
+
+pub use unigpu_farm::framing::MAX_FRAME_BYTES;
+
+/// Health snapshot a replica attaches to every admission ack. The router
+/// keeps the latest snapshot per replica and routes on it; the view is
+/// only as stale as the last request sent there, which is exactly the
+/// information a power-of-two-choices router needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaHealth {
+    /// Requests admitted but not yet formed into a batch.
+    pub queue_depth: usize,
+    /// Batches currently executing on device lanes.
+    pub inflight: usize,
+    /// Circuit-breaker gauge: `0` closed, `1` open, `2` half-open.
+    pub breaker: f64,
+    /// When the breaker is open, the simulated-clock instant it half-opens.
+    /// The router uses this to withhold traffic until a probe is due.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub breaker_open_until_ms: Option<f64>,
+    /// SLO error-budget burn rate over the replica's trailing window.
+    pub burn_rate: f64,
+}
+
+impl Default for ReplicaHealth {
+    fn default() -> Self {
+        ReplicaHealth {
+            queue_depth: 0,
+            inflight: 0,
+            breaker: 0.0,
+            breaker_open_until_ms: None,
+            burn_rate: 0.0,
+        }
+    }
+}
+
+/// One replica's final accounting, summarized from its [`ServeReport`]
+/// so it fits a frame without dragging every per-request record across
+/// the wire.
+///
+/// [`ServeReport`]: unigpu_engine::ServeReport
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    pub name: String,
+    /// Device name (e.g. `"Intel HD Graphics 505"`), the warm-replication
+    /// compatibility key.
+    pub device: String,
+    /// Requests this replica was offered (admitted or locally shed).
+    pub offered: usize,
+    /// `(request id, end-to-end latency ms)` per completed request,
+    /// sorted by id.
+    pub completed: Vec<(usize, f64)>,
+    /// Ids shed by this replica's admission control. Non-terminal at
+    /// fleet level: the router re-offers them elsewhere.
+    pub shed: Vec<usize>,
+    /// Ids expired against their deadline on this replica (terminal).
+    pub expired: Vec<usize>,
+    /// Ids that exhausted the panic ladder on this replica (terminal).
+    pub failed: Vec<usize>,
+    pub batches: usize,
+    pub makespan_ms: f64,
+    pub degraded_batches: usize,
+    pub breaker_trips: usize,
+    pub breaker_recoveries: usize,
+    /// The underlying [`ServeReport::digest`], folding per-request
+    /// outcomes into the fleet digest without shipping them all.
+    ///
+    /// [`ServeReport::digest`]: unigpu_engine::ServeReport::digest
+    pub digest: u64,
+    /// True when this replica skipped compilation because a peer's
+    /// artifact was already in its cache (warm replication).
+    pub warm_start: bool,
+    /// True when this report was recovered from a killed replica.
+    pub dead: bool,
+}
+
+/// Every message of the fleet protocol.
+///
+/// Router → replica: `Hello`, `Load`, `FetchArtifact`, `PushArtifact`,
+/// `Infer`, `Finish`. Replica → router: the matching `*Ack`,
+/// `ArtifactBlob`, `Report`, `Error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum FleetFrame {
+    /// The router introduces itself and asks who is listening.
+    Hello,
+    /// Handshake reply: the replica's name and simulated device.
+    HelloAck { name: String, device: String },
+    /// Compile (or cache-load) a zoo model and stand up the serve loop.
+    Load { model: String },
+    /// Load reply. `warm` is [`CompiledModel::from_cache`]; `predicted_ms`
+    /// is the single-sample batch estimate the router weighs routing by.
+    ///
+    /// [`CompiledModel::from_cache`]: unigpu_engine::CompiledModel::from_cache
+    LoadAck { warm: bool, predicted_ms: f64 },
+    /// Ask for the loaded model's artifact in JSONL wire form, so the
+    /// router can replicate it to same-device peers.
+    FetchArtifact,
+    /// The artifact, as [`Artifact::to_jsonl`] emits it.
+    ///
+    /// [`Artifact::to_jsonl`]: unigpu_engine::Artifact::to_jsonl
+    ArtifactBlob { jsonl: String },
+    /// Seed this replica's artifact cache before its `Load`, so a cold
+    /// peer skips recompilation.
+    PushArtifact { jsonl: String },
+    /// Push reply; `stored == false` names a parse/IO refusal in `Infer`
+    /// position would have been an `Error` frame.
+    PushAck { stored: bool },
+    /// Offer one request at a simulated-clock arrival instant.
+    Infer { id: usize, arrival_ms: f64 },
+    /// Admission verdict plus the health snapshot routing feeds on.
+    InferAck { admitted: bool, health: ReplicaHealth },
+    /// Drain, shut down, and report.
+    Finish,
+    /// The replica's final accounting. Boxed: it dwarfs every other
+    /// variant.
+    Report(Box<ReplicaReport>),
+    /// Protocol-level failure; the sender closes the connection after
+    /// this.
+    Error { message: String },
+}
+
+/// Serialize `frame` as one length-prefixed JSON message.
+pub fn write_frame(w: &mut dyn Write, frame: &FleetFrame) -> io::Result<()> {
+    framing::write_frame(w, frame)
+}
+
+/// Read one frame. A clean peer close surfaces as `UnexpectedEof`; an
+/// oversized length prefix or unparseable body surfaces as `InvalidData`
+/// (the caller should answer [`FleetFrame::Error`] and drop the
+/// connection).
+pub fn read_frame(r: &mut dyn Read) -> io::Result<FleetFrame> {
+    framing::read_frame(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fleet_frames_round_trip() {
+        let frames = vec![
+            FleetFrame::Hello,
+            FleetFrame::HelloAck {
+                name: "r0".into(),
+                device: "Intel HD Graphics 505".into(),
+            },
+            FleetFrame::Load { model: "ResNet-18".into() },
+            FleetFrame::LoadAck { warm: true, predicted_ms: 3.25 },
+            FleetFrame::FetchArtifact,
+            FleetFrame::ArtifactBlob { jsonl: "{}\n".into() },
+            FleetFrame::PushArtifact { jsonl: "{}\n".into() },
+            FleetFrame::PushAck { stored: true },
+            FleetFrame::Infer { id: 41, arrival_ms: 82.0 },
+            FleetFrame::InferAck {
+                admitted: true,
+                health: ReplicaHealth {
+                    queue_depth: 3,
+                    inflight: 2,
+                    breaker: 1.0,
+                    breaker_open_until_ms: Some(250.0),
+                    burn_rate: 4.5,
+                },
+            },
+            FleetFrame::Finish,
+            FleetFrame::Report(Box::new(ReplicaReport {
+                name: "r0".into(),
+                device: "Mali-T860".into(),
+                offered: 10,
+                completed: vec![(0, 5.0), (2, 7.5)],
+                shed: vec![3],
+                expired: vec![4],
+                failed: vec![],
+                batches: 6,
+                makespan_ms: 44.0,
+                degraded_batches: 1,
+                breaker_trips: 1,
+                breaker_recoveries: 1,
+                digest: 0xdead_beef,
+                warm_start: false,
+                dead: true,
+            })),
+            FleetFrame::Error { message: "nope".into() },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cur).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn closed_breaker_ack_omits_the_open_until_key() {
+        // None must not serialize a key old peers would reject
+        let f = FleetFrame::InferAck {
+            admitted: true,
+            health: ReplicaHealth::default(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        assert!(!String::from_utf8_lossy(&buf).contains("breaker_open_until_ms"));
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_keep_the_shared_error_taxonomy() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &FleetFrame::Hello).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let body = b"{ not json";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

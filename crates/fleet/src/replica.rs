@@ -1,0 +1,496 @@
+//! One fleet replica: a [`Server`] wrapping a [`CompiledModel`] for a
+//! single simulated device, reachable either in-process
+//! ([`LocalReplica`]) or over TCP ([`run_replica`], with
+//! [`RemoteReplica`](crate::router::RemoteReplica) as the router-side
+//! handle).
+//!
+//! A replica is deliberately dumb: it admits or sheds what it is offered,
+//! answers every admission with a health snapshot (queue depth, inflight,
+//! breaker phase, SLO burn), and reports its final accounting on
+//! `Finish`. All placement intelligence lives in the router — replicas
+//! never talk to each other, which is what makes a replica kill a local
+//! event the router can reason about.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use unigpu_device::{Platform, Vendor};
+use unigpu_engine::{
+    Admission, CompiledModel, Engine, InferenceRequest, ServeConfig, ServeReport, Server,
+};
+use unigpu_models::full_zoo;
+use unigpu_tensor::Shape;
+
+use crate::proto::{read_frame, write_frame, FleetFrame, ReplicaHealth, ReplicaReport};
+use crate::replication;
+
+/// Router-side handle to one replica, local or remote. The router owns a
+/// boxed set of these and never cares which transport backs them.
+pub trait ReplicaLink {
+    fn name(&self) -> &str;
+    /// Device name (`DeviceSpec::name`); the warm-replication key.
+    fn device(&self) -> &str;
+    /// Predicted single-sample latency on this replica's device, ms — the
+    /// static weight in the router's cost-aware score.
+    fn predicted_ms(&self) -> f64;
+    /// True when this replica served from a replicated artifact instead
+    /// of compiling.
+    fn warm_start(&self) -> bool;
+    /// Offer one request. `Ok((admitted, health))` covers replica-side
+    /// shedding (`admitted == false`); `Err` means the replica is dead
+    /// and will never answer again.
+    fn submit(&mut self, id: usize, arrival_ms: f64) -> io::Result<(bool, ReplicaHealth)>;
+    /// What a dead replica can hand back: the requests that were queued
+    /// but unformed when it died, and its recovered final report. A
+    /// remote crash returns `(None, None)` — nothing is recoverable, so
+    /// the router re-routes everything unconfirmed.
+    fn orphans(&mut self) -> (Option<Vec<(usize, f64)>>, Option<ReplicaReport>);
+    /// Drain, shut down, and collect the final report.
+    fn finish(&mut self) -> io::Result<ReplicaReport>;
+}
+
+/// Fold a finished [`ServeReport`] into the wire-sized summary.
+pub(crate) fn summarize(
+    name: &str,
+    device: &str,
+    warm: bool,
+    dead: bool,
+    report: &ServeReport,
+) -> ReplicaReport {
+    ReplicaReport {
+        name: name.to_string(),
+        device: device.to_string(),
+        offered: report.offered,
+        completed: report
+            .results
+            .iter()
+            .map(|r| (r.id, r.latency_ms()))
+            .collect(),
+        shed: report.shed.iter().map(|r| r.id).collect(),
+        expired: report.expired.iter().map(|r| r.id).collect(),
+        failed: report.failed.iter().map(|r| r.id).collect(),
+        batches: report.batches,
+        makespan_ms: report.makespan_ms,
+        degraded_batches: report.degraded_batches,
+        breaker_trips: report.breaker_trips,
+        breaker_recoveries: report.breaker_recoveries,
+        digest: report.digest(),
+        warm_start: warm,
+        dead,
+    }
+}
+
+/// An in-process replica: the building block of [`build_pool`] and the
+/// state behind one [`run_replica`] connection.
+///
+/// [`build_pool`]: crate::pool::build_pool
+pub struct LocalReplica {
+    name: String,
+    device: String,
+    predicted_ms: f64,
+    shape: Shape,
+    warm: bool,
+    compiled: CompiledModel,
+    server: Option<Server>,
+    /// Deterministic chaos: hard-kill on the Nth submit (1-based).
+    die_on_submit: Option<usize>,
+    submits: usize,
+    orphaned: Option<Vec<(usize, f64)>>,
+    recovered: Option<ReplicaReport>,
+}
+
+impl LocalReplica {
+    pub fn new(name: impl Into<String>, compiled: &CompiledModel, cfg: &ServeConfig) -> Self {
+        LocalReplica {
+            name: name.into(),
+            device: compiled.key().device.clone(),
+            predicted_ms: compiled.estimate_batch_ms(1),
+            shape: compiled.input_shape(),
+            warm: compiled.from_cache(),
+            compiled: compiled.clone(),
+            server: Some(compiled.server(cfg)),
+            die_on_submit: None,
+            submits: 0,
+            orphaned: None,
+            recovered: None,
+        }
+    }
+
+    /// Arm the deterministic kill switch: the `nth` submit (1-based)
+    /// finds the replica dead. The kill is a hard one — [`Server::kill`]
+    /// evicts the queue — but in-process the evicted backlog and the
+    /// final report are recoverable, modeling a supervised crash.
+    pub fn die_on_submit(mut self, nth: usize) -> Self {
+        self.die_on_submit = Some(nth.max(1));
+        self
+    }
+
+    /// The compiled model this replica serves (the replication donor).
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    fn down() -> io::Error {
+        io::Error::new(ErrorKind::BrokenPipe, "replica is down")
+    }
+}
+
+impl ReplicaLink for LocalReplica {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn device(&self) -> &str {
+        &self.device
+    }
+
+    fn predicted_ms(&self) -> f64 {
+        self.predicted_ms
+    }
+
+    fn warm_start(&self) -> bool {
+        self.warm
+    }
+
+    fn submit(&mut self, id: usize, arrival_ms: f64) -> io::Result<(bool, ReplicaHealth)> {
+        if self.server.is_none() {
+            return Err(Self::down());
+        }
+        self.submits += 1;
+        if self.die_on_submit.is_some_and(|nth| self.submits >= nth) {
+            let server = self.server.take().expect("server checked above");
+            let (evicted, report) = server.kill();
+            self.orphaned = Some(evicted.iter().map(|r| (r.id, r.arrival_ms)).collect());
+            self.recovered = Some(summarize(&self.name, &self.device, self.warm, true, &report));
+            return Err(io::Error::new(ErrorKind::BrokenPipe, "injected replica death"));
+        }
+        let server = self.server.as_mut().expect("server checked above");
+        let admitted = matches!(
+            server.submit(InferenceRequest {
+                id,
+                shape: self.shape.clone(),
+                arrival_ms,
+                trace: None,
+            }),
+            Admission::Accepted
+        );
+        Ok((
+            admitted,
+            ReplicaHealth {
+                queue_depth: server.queue_depth(),
+                inflight: server.inflight(),
+                breaker: server.breaker_gauge(),
+                breaker_open_until_ms: server.breaker_open_until_ms(),
+                burn_rate: server.slo_burn_rate(),
+            },
+        ))
+    }
+
+    fn orphans(&mut self) -> (Option<Vec<(usize, f64)>>, Option<ReplicaReport>) {
+        (self.orphaned.take(), self.recovered.take())
+    }
+
+    fn finish(&mut self) -> io::Result<ReplicaReport> {
+        if let Some(report) = self.recovered.take() {
+            return Ok(report);
+        }
+        let server = self.server.take().ok_or_else(Self::down)?;
+        let report = server.shutdown();
+        Ok(summarize(&self.name, &self.device, self.warm, false, &report))
+    }
+}
+
+/// Everything one replica process needs to serve.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    pub name: String,
+    /// The platform this replica simulates ([`Platform::by_name`]).
+    pub platform: Platform,
+    pub serve: ServeConfig,
+    /// Artifact-cache directory (the warm-replication landing zone).
+    /// `None` uses the engine default (`$UNIGPU_DB_DIR/artifacts`) —
+    /// fleet processes on one host should each get their own.
+    pub cache_dir: Option<PathBuf>,
+    /// Deterministic chaos for process-level replicas: hard-kill on the
+    /// Nth submit (1-based), exactly like [`LocalReplica::die_on_submit`].
+    /// The CI fleet gate uses this so the mid-traffic kill lands on the
+    /// same request every run.
+    pub die_on_submit: Option<usize>,
+}
+
+/// Serve one router connection on `listener`, then return. The replica
+/// protocol is single-tenant by design: one router drives one replica,
+/// and the process exits when the router says `Finish` (or hangs up).
+pub fn run_replica(listener: &TcpListener, cfg: &ReplicaConfig) -> io::Result<()> {
+    let (mut stream, _peer) = listener.accept()?;
+    serve_conn(&mut stream, cfg)
+}
+
+fn load_model(cfg: &ReplicaConfig, model: &str) -> Result<LocalReplica, String> {
+    let entry = full_zoo()
+        .into_iter()
+        .find(|e| e.name == model)
+        .ok_or_else(|| format!("unknown model '{model}'"))?;
+    let graph = (entry.build)(cfg.platform.gpu.vendor == Vendor::Arm);
+    let mut builder = Engine::builder().platform(cfg.platform.clone());
+    if let Some(dir) = &cfg.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let compiled = builder.build().compile(&graph);
+    let mut replica = LocalReplica::new(cfg.name.clone(), &compiled, &cfg.serve);
+    if let Some(nth) = cfg.die_on_submit {
+        replica = replica.die_on_submit(nth);
+    }
+    Ok(replica)
+}
+
+/// The replica side of the fleet protocol: a strict request/response
+/// loop over one stream. Returns `Ok(())` on `Finish` or a clean router
+/// hangup; protocol errors answer [`FleetFrame::Error`] and surface the
+/// underlying error to the caller.
+pub fn serve_conn<S: Read + Write>(stream: &mut S, cfg: &ReplicaConfig) -> io::Result<()> {
+    let mut replica: Option<LocalReplica> = None;
+    loop {
+        let frame = match read_frame(stream) {
+            Ok(f) => f,
+            // router hung up between frames: a clean exit, not a fault
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                let _ = write_frame(
+                    stream,
+                    &FleetFrame::Error { message: e.to_string() },
+                );
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        match frame {
+            FleetFrame::Hello => write_frame(
+                stream,
+                &FleetFrame::HelloAck {
+                    name: cfg.name.clone(),
+                    device: cfg.platform.gpu.name.clone(),
+                },
+            )?,
+            FleetFrame::PushArtifact { jsonl } => {
+                let dir = cfg
+                    .cache_dir
+                    .clone()
+                    .unwrap_or_else(unigpu_engine::default_artifact_dir);
+                let stored = replication::store_jsonl_in_dir(&dir, &jsonl);
+                write_frame(stream, &FleetFrame::PushAck { stored })?;
+            }
+            FleetFrame::Load { model } => match load_model(cfg, &model) {
+                Ok(loaded) => {
+                    let ack = FleetFrame::LoadAck {
+                        warm: loaded.warm_start(),
+                        predicted_ms: loaded.predicted_ms(),
+                    };
+                    replica = Some(loaded);
+                    write_frame(stream, &ack)?;
+                }
+                Err(message) => write_frame(stream, &FleetFrame::Error { message })?,
+            },
+            FleetFrame::FetchArtifact => match &replica {
+                Some(r) => {
+                    let jsonl = replication::artifact_of(r.compiled()).to_jsonl();
+                    write_frame(stream, &FleetFrame::ArtifactBlob { jsonl })?;
+                }
+                None => write_frame(
+                    stream,
+                    &FleetFrame::Error { message: "no model loaded".into() },
+                )?,
+            },
+            FleetFrame::Infer { id, arrival_ms } => match replica.as_mut() {
+                Some(r) => match r.submit(id, arrival_ms) {
+                    Ok((admitted, health)) => {
+                        write_frame(stream, &FleetFrame::InferAck { admitted, health })?
+                    }
+                    Err(e) => {
+                        write_frame(
+                            stream,
+                            &FleetFrame::Error { message: e.to_string() },
+                        )?;
+                        return Err(e);
+                    }
+                },
+                None => write_frame(
+                    stream,
+                    &FleetFrame::Error { message: "no model loaded".into() },
+                )?,
+            },
+            FleetFrame::Finish => {
+                let reply = match replica.take() {
+                    Some(mut r) => match r.finish() {
+                        Ok(report) => FleetFrame::Report(Box::new(report)),
+                        Err(e) => FleetFrame::Error { message: e.to_string() },
+                    },
+                    None => FleetFrame::Error { message: "no model loaded".into() },
+                };
+                write_frame(stream, &reply)?;
+                return Ok(());
+            }
+            // a replica only ever *answers*; receiving a reply frame means
+            // the peer is confused — say so and hang up
+            other => {
+                let message = format!("unexpected frame from router: {other:?}");
+                let _ = write_frame(stream, &FleetFrame::Error { message: message.clone() });
+                return Err(io::Error::new(ErrorKind::InvalidData, message));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn compiled_deeplens() -> CompiledModel {
+        let entry = full_zoo()
+            .into_iter()
+            .find(|e| e.name == "MobileNet1.0")
+            .expect("zoo has MobileNet1.0");
+        let graph = (entry.build)(false);
+        Engine::builder()
+            .platform(Platform::deeplens())
+            .persist(false)
+            .build()
+            .compile(&graph)
+    }
+
+    fn serve_cfg() -> ServeConfig {
+        ServeConfig::builder()
+            .concurrency(1)
+            .max_batch(2)
+            .build()
+            .expect("valid serve config")
+    }
+
+    #[test]
+    fn local_replica_admits_and_reports() {
+        let compiled = compiled_deeplens();
+        let mut r = LocalReplica::new("r0", &compiled, &serve_cfg());
+        assert_eq!(r.device(), "Intel HD Graphics 505");
+        assert!(r.predicted_ms() > 0.0);
+        for id in 0..4 {
+            let (admitted, health) = r.submit(id, id as f64 * 2.0).unwrap();
+            assert!(admitted);
+            assert_eq!(health.breaker, 0.0);
+        }
+        let report = r.finish().unwrap();
+        assert_eq!(report.offered, 4);
+        assert_eq!(report.completed.len(), 4);
+        assert!(!report.dead);
+        // a finished replica is dead to further traffic
+        assert!(r.submit(99, 1000.0).is_err());
+    }
+
+    #[test]
+    fn killed_replica_hands_back_its_backlog_and_report() {
+        let compiled = compiled_deeplens();
+        // concurrency 1 + a long batch window keep the queue populated
+        let cfg = ServeConfig::builder()
+            .concurrency(1)
+            .max_batch(4)
+            .batch_window(Duration::from_millis(50))
+            .build()
+            .expect("valid serve config");
+        let mut r = LocalReplica::new("r0", &compiled, &cfg).die_on_submit(4);
+        for id in 0..3 {
+            assert!(r.submit(id, 0.1).unwrap().0);
+        }
+        let err = r.submit(3, 0.2).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+        let (orphans, report) = r.orphans();
+        let orphans = orphans.expect("in-process kill recovers the backlog");
+        let report = report.expect("in-process kill recovers the report");
+        assert!(report.dead);
+        // every admitted id is either in the recovered report or orphaned
+        let mut seen: Vec<usize> = report
+            .completed
+            .iter()
+            .map(|&(id, _)| id)
+            .chain(report.expired.iter().copied())
+            .chain(report.failed.iter().copied())
+            .chain(orphans.iter().map(|&(id, _)| id))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(report.offered + orphans.len(), 3);
+    }
+
+    #[test]
+    fn serve_conn_speaks_the_protocol_end_to_end() {
+        use std::io::Cursor;
+
+        let cache_dir = std::env::temp_dir().join(format!(
+            "unigpu-fleet-serve-conn-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cfg = ReplicaConfig {
+            name: "r0".into(),
+            platform: Platform::deeplens(),
+            serve: serve_cfg(),
+            cache_dir: Some(cache_dir.clone()),
+            die_on_submit: None,
+        };
+        // script the router side of the conversation into a buffer
+        let mut inbox = Vec::new();
+        write_frame(&mut inbox, &FleetFrame::Hello).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Load { model: "MobileNet1.0".into() }).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Infer { id: 0, arrival_ms: 0.0 }).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Infer { id: 1, arrival_ms: 1.0 }).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Finish).unwrap();
+
+        struct Duplex {
+            rx: Cursor<Vec<u8>>,
+            tx: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.rx.read(buf)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.tx.write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wire = Duplex { rx: Cursor::new(inbox), tx: Vec::new() };
+        serve_conn(&mut wire, &cfg).unwrap();
+
+        let mut replies = Cursor::new(wire.tx);
+        match read_frame(&mut replies).unwrap() {
+            FleetFrame::HelloAck { name, device } => {
+                assert_eq!(name, "r0");
+                assert_eq!(device, "Intel HD Graphics 505");
+            }
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        match read_frame(&mut replies).unwrap() {
+            FleetFrame::LoadAck { predicted_ms, .. } => assert!(predicted_ms > 0.0),
+            other => panic!("expected LoadAck, got {other:?}"),
+        }
+        for _ in 0..2 {
+            match read_frame(&mut replies).unwrap() {
+                FleetFrame::InferAck { admitted, .. } => assert!(admitted),
+                other => panic!("expected InferAck, got {other:?}"),
+            }
+        }
+        match read_frame(&mut replies).unwrap() {
+            FleetFrame::Report(report) => {
+                assert_eq!(report.offered, 2);
+                assert_eq!(report.completed.len(), 2);
+            }
+            other => panic!("expected Report, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+}

@@ -1,0 +1,863 @@
+//! The device-aware fleet router.
+//!
+//! Shards a request stream across a heterogeneous replica pool with
+//! power-of-two-choices weighted by predicted cost: two candidate
+//! replicas are drawn per request (deterministically, by hashing the
+//! request id), and the one with the lower `(queue_depth + inflight + 1)
+//! × predicted_ms` wins. The predicted term comes from each replica's
+//! compile-time cost model, so a Jetson Nano naturally absorbs more load
+//! than a Mali — the paper's cost model, promoted from a compiler
+//! heuristic to a load balancer.
+//!
+//! Health signals fold into routing, not just placement: a replica whose
+//! circuit breaker is open receives *zero* new admissions until its
+//! half-open probe instant, and a replica burning its SLO error budget
+//! past a threshold sheds to healthy peers. A dead replica's backlog
+//! fails over: whatever the corpse hands back (an in-process kill
+//! recovers the evicted queue and the final report) is re-routed, and
+//! whatever it cannot hand back (a remote crash) is re-routed wholesale
+//! from the router's own assignment ledger — at-least-once, never lost.
+//!
+//! Everything is counter-based and clock-free, so a zero-noise fleet run
+//! is bit-for-bit reproducible: [`FleetReport::digest`] is the replay
+//! check.
+
+use std::io::{self, ErrorKind};
+use std::net::TcpStream;
+
+use unigpu_telemetry::{MetricsRegistry, SpanRecord, SpanRecorder};
+
+use crate::proto::{read_frame, write_frame, FleetFrame, ReplicaHealth, ReplicaReport};
+use crate::replica::ReplicaLink;
+use crate::{LANE_FLEET_CONTROL, LANE_FLEET_REPLICA_BASE};
+
+/// How the router picks a replica for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rotate over healthy replicas, blind to queue state and device
+    /// speed. The baseline the fleet bench compares against.
+    RoundRobin,
+    /// Power-of-two-choices weighted by predicted cost (the default).
+    PowerOfTwo,
+}
+
+/// Router knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    pub policy: RoutePolicy,
+    /// Seed mixed into the per-request candidate hash; two runs with the
+    /// same seed and request stream route identically.
+    pub seed: u64,
+    /// SLO burn rate at or above which a replica is treated as unhealthy
+    /// and sheds to peers. `f64::INFINITY` disables burn-based shedding.
+    pub burn_shed_threshold: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            policy: RoutePolicy::PowerOfTwo,
+            seed: 0x5eed_0f1e_e7,
+            burn_shed_threshold: 25.0,
+        }
+    }
+}
+
+/// One routing decision, logged for auditability: tests assert from this
+/// that an open breaker received zero admissions before its probe
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteDecision {
+    pub id: usize,
+    /// Index of the chosen replica.
+    pub replica: usize,
+    pub arrival_ms: f64,
+    /// The chosen replica's breaker gauge as the router saw it.
+    pub breaker: f64,
+    /// The chosen replica's open-until instant as the router saw it; a
+    /// decision with `breaker == 1.0` is legal only when
+    /// `arrival_ms >= breaker_open_until_ms` (the half-open probe).
+    pub breaker_open_until_ms: Option<f64>,
+    /// True when this submission re-routed an orphaned request after a
+    /// replica death.
+    pub rerouted: bool,
+}
+
+/// Fleet-wide accounting. Every request offered to [`Router::route`]
+/// lands in exactly one bucket; [`FleetReport::lost`] is the invariant
+/// check and must be zero across any kill/throttle plan.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Requests offered to the fleet (each counted once, however many
+    /// replicas it was retried on).
+    pub offered: usize,
+    /// `(request id, end-to-end latency ms)`, sorted by id.
+    pub completed: Vec<(usize, f64)>,
+    /// Ids no healthy replica would admit (fleet-level admission control).
+    pub shed: Vec<usize>,
+    /// Ids that expired against their deadline on some replica.
+    pub expired: Vec<usize>,
+    /// Ids that exhausted a replica's panic ladder.
+    pub failed: Vec<usize>,
+    /// Failover re-submissions performed after replica deaths.
+    pub rerouted: usize,
+    pub replica_deaths: usize,
+    /// Per-replica summaries, in pool order. A crashed remote replica
+    /// that could not deliver a report appears as a zeroed stub with
+    /// `dead == true`.
+    pub replicas: Vec<ReplicaReport>,
+    /// The full decision log, in offer order.
+    pub decisions: Vec<RouteDecision>,
+}
+
+impl FleetReport {
+    /// Requests unaccounted for — must always be zero.
+    pub fn lost(&self) -> usize {
+        self.offered.saturating_sub(
+            self.completed.len() + self.shed.len() + self.expired.len() + self.failed.len(),
+        )
+    }
+
+    /// p99 end-to-end latency over completed requests, ms.
+    pub fn p99_latency_ms(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.completed.iter().map(|&(_, ms)| ms).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((lat.len() as f64) * 0.99).ceil() as usize;
+        lat[idx.clamp(1, lat.len()) - 1]
+    }
+
+    /// FNV-1a over every externally observable outcome. Two zero-noise
+    /// runs of the same request stream against the same pool must agree
+    /// bit for bit.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |h: &mut u64, v: u64| {
+            *h = (*h ^ v).wrapping_mul(0x100_0000_01b3);
+        };
+        mix(&mut h, self.offered as u64);
+        mix(&mut h, self.rerouted as u64);
+        mix(&mut h, self.replica_deaths as u64);
+        for &(id, ms) in &self.completed {
+            mix(&mut h, id as u64);
+            mix(&mut h, ms.to_bits());
+        }
+        for bucket in [&self.shed, &self.expired, &self.failed] {
+            mix(&mut h, bucket.len() as u64);
+            for &id in bucket {
+                mix(&mut h, id as u64);
+            }
+        }
+        for r in &self.replicas {
+            for b in r.name.bytes().chain(r.device.bytes()) {
+                mix(&mut h, b as u64);
+            }
+            mix(&mut h, r.offered as u64);
+            mix(&mut h, r.batches as u64);
+            mix(&mut h, r.makespan_ms.to_bits());
+            mix(&mut h, r.degraded_batches as u64);
+            mix(&mut h, r.breaker_trips as u64);
+            mix(&mut h, r.breaker_recoveries as u64);
+            mix(&mut h, r.digest);
+            mix(&mut h, u64::from(r.warm_start));
+            mix(&mut h, u64::from(r.dead));
+        }
+        h
+    }
+}
+
+struct Slot {
+    link: Box<dyn ReplicaLink>,
+    name: String,
+    device: String,
+    predicted_ms: f64,
+    /// Latest health snapshot, as stale as the last ack from this
+    /// replica.
+    health: ReplicaHealth,
+    dead: bool,
+    finished: bool,
+    /// Admitted-but-unconfirmed requests: the failover ledger.
+    assigned: Vec<(usize, f64)>,
+    report: Option<ReplicaReport>,
+}
+
+/// SplitMix64 finalizer: the candidate hash behind power-of-two-choices.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fleet router. Owns the replica handles; consume with
+/// [`Router::finish`] to collect the fleet report.
+pub struct Router {
+    slots: Vec<Slot>,
+    cfg: RouterConfig,
+    metrics: MetricsRegistry,
+    spans: SpanRecorder,
+    rr_next: usize,
+    offered: usize,
+    fleet_shed: Vec<usize>,
+    rerouted: usize,
+    deaths: usize,
+    decisions: Vec<RouteDecision>,
+}
+
+impl Router {
+    pub fn new(cfg: RouterConfig, replicas: Vec<Box<dyn ReplicaLink>>) -> Router {
+        Router::with_telemetry(cfg, replicas, SpanRecorder::new(), MetricsRegistry::new())
+    }
+
+    /// A router recording into caller-owned telemetry.
+    pub fn with_telemetry(
+        cfg: RouterConfig,
+        replicas: Vec<Box<dyn ReplicaLink>>,
+        spans: SpanRecorder,
+        metrics: MetricsRegistry,
+    ) -> Router {
+        let slots = replicas
+            .into_iter()
+            .map(|link| Slot {
+                name: link.name().to_string(),
+                device: link.device().to_string(),
+                predicted_ms: link.predicted_ms().max(f64::MIN_POSITIVE),
+                health: ReplicaHealth::default(),
+                dead: false,
+                finished: false,
+                assigned: Vec::new(),
+                report: None,
+                link,
+            })
+            .collect();
+        Router {
+            slots,
+            cfg,
+            metrics,
+            spans,
+            rr_next: 0,
+            offered: 0,
+            fleet_shed: Vec::new(),
+            rerouted: 0,
+            deaths: 0,
+            decisions: Vec::new(),
+        }
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    pub fn replica_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A replica takes traffic when it is alive, not finished, not
+    /// burning its error budget, and its breaker is not open — except
+    /// that an open breaker past its cooldown instant takes exactly the
+    /// probe traffic the half-open phase is for.
+    fn healthy(&self, i: usize, arrival_ms: f64) -> bool {
+        let s = &self.slots[i];
+        if s.dead || s.finished {
+            return false;
+        }
+        if s.health.burn_rate >= self.cfg.burn_shed_threshold {
+            return false;
+        }
+        if s.health.breaker == 1.0 {
+            return match s.health.breaker_open_until_ms {
+                Some(until_ms) => arrival_ms >= until_ms,
+                None => false,
+            };
+        }
+        true
+    }
+
+    /// Cost-aware load score: expected work queued ahead of a new
+    /// arrival, in predicted device-ms. The `+ 1` prices the arrival
+    /// itself, so an idle slow device still costs more than an idle fast
+    /// one.
+    fn score(&self, i: usize) -> f64 {
+        let s = &self.slots[i];
+        (s.health.queue_depth + s.health.inflight + 1) as f64 * s.predicted_ms
+    }
+
+    fn pick(&mut self, id: usize, arrival_ms: f64, excluded: &[usize]) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| !excluded.contains(&i) && self.healthy(i, arrival_ms))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.cfg.policy {
+            RoutePolicy::RoundRobin => {
+                let i = candidates[self.rr_next % candidates.len()];
+                self.rr_next = self.rr_next.wrapping_add(1);
+                Some(i)
+            }
+            RoutePolicy::PowerOfTwo => {
+                let h = splitmix64(self.cfg.seed ^ (id as u64));
+                let a = candidates[(h as usize) % candidates.len()];
+                let b = candidates[((h >> 32) as usize) % candidates.len()];
+                // strict less-than: ties go to the first draw, keeping the
+                // choice independent of evaluation order
+                Some(if self.score(b) < self.score(a) { b } else { a })
+            }
+        }
+    }
+
+    /// Offer one request to the fleet. Returns `true` when some replica
+    /// admitted it; `false` means it landed in the fleet shed bucket.
+    /// Arrivals must be non-decreasing (one simulated clock for the whole
+    /// fleet).
+    pub fn route(&mut self, id: usize, arrival_ms: f64) -> bool {
+        self.offered += 1;
+        self.metrics.inc("fleet.offered");
+        self.route_inner(id, arrival_ms, false)
+    }
+
+    fn route_inner(&mut self, id: usize, arrival_ms: f64, rerouted: bool) -> bool {
+        let mut tried: Vec<usize> = Vec::new();
+        loop {
+            let Some(i) = self.pick(id, arrival_ms, &tried) else {
+                self.metrics.inc("fleet.shed");
+                self.fleet_shed.push(id);
+                return false;
+            };
+            self.decisions.push(RouteDecision {
+                id,
+                replica: i,
+                arrival_ms,
+                breaker: self.slots[i].health.breaker,
+                breaker_open_until_ms: self.slots[i].health.breaker_open_until_ms,
+                rerouted,
+            });
+            match self.slots[i].link.submit(id, arrival_ms) {
+                Ok((admitted, health)) => {
+                    self.slots[i].health = health;
+                    self.publish_gauges(i);
+                    if admitted {
+                        self.slots[i].assigned.push((id, arrival_ms));
+                        self.metrics.inc(&format!("fleet.routed.{i}"));
+                        self.spans.record(SpanRecord {
+                            name: format!("req {id}"),
+                            category: "fleet.route".into(),
+                            start_us: arrival_ms * 1000.0,
+                            dur_us: 0.0,
+                            lane: LANE_FLEET_REPLICA_BASE + i as u32,
+                            attrs: vec![
+                                ("replica".into(), self.slots[i].name.clone()),
+                                ("rerouted".into(), rerouted.to_string()),
+                            ],
+                            trace: None,
+                        });
+                        return true;
+                    }
+                    // replica-side shed: not terminal — try the next-best
+                    // candidate
+                    self.metrics.inc(&format!("fleet.replica_shed.{i}"));
+                    tried.push(i);
+                }
+                Err(err) => {
+                    self.on_death(i, arrival_ms, &err);
+                    tried.push(i);
+                }
+            }
+        }
+    }
+
+    /// Handle a replica death discovered at `arrival_ms`: recover what
+    /// the corpse hands back, then fail its backlog over to the
+    /// survivors. With a recovered report only the evicted queue
+    /// re-routes (everything else is accounted by the report); without
+    /// one, every assigned-but-unconfirmed request re-routes —
+    /// at-least-once delivery instead of a loss.
+    fn on_death(&mut self, i: usize, arrival_ms: f64, err: &io::Error) {
+        if self.slots[i].dead {
+            return;
+        }
+        self.slots[i].dead = true;
+        self.deaths += 1;
+        self.metrics.inc("fleet.replica_deaths");
+        self.metrics.set_gauge(&format!("fleet.up.{i}"), 0.0);
+        let (orphans, report) = self.slots[i].link.orphans();
+        let assigned = std::mem::take(&mut self.slots[i].assigned);
+        let recovered_report = report.is_some();
+        self.slots[i].report = report;
+        let backlog = match orphans {
+            Some(evicted) if recovered_report => evicted,
+            _ => assigned,
+        };
+        self.spans.record(SpanRecord {
+            name: format!("replica {} died", self.slots[i].name),
+            category: "fleet.death".into(),
+            start_us: arrival_ms * 1000.0,
+            dur_us: 0.0,
+            lane: LANE_FLEET_CONTROL,
+            attrs: vec![
+                ("error".into(), err.to_string()),
+                ("failover".into(), backlog.len().to_string()),
+                ("report_recovered".into(), recovered_report.to_string()),
+            ],
+            trace: None,
+        });
+        for (id, orig_arrival) in backlog {
+            self.rerouted += 1;
+            self.metrics.inc("fleet.rerouted");
+            // failover preserves the fleet clock: re-offers happen *now*,
+            // not back at the original arrival instant
+            self.route_inner(id, orig_arrival.max(arrival_ms), true);
+        }
+    }
+
+    fn publish_gauges(&self, i: usize) {
+        let h = &self.slots[i].health;
+        self.metrics
+            .set_gauge(&format!("fleet.queue_depth.{i}"), h.queue_depth as f64);
+        self.metrics
+            .set_gauge(&format!("fleet.inflight.{i}"), h.inflight as f64);
+        self.metrics
+            .set_gauge(&format!("fleet.breaker_state.{i}"), h.breaker);
+        self.metrics
+            .set_gauge(&format!("fleet.burn_rate.{i}"), h.burn_rate);
+    }
+
+    /// Drain every replica and fold the fleet report. Replicas finish in
+    /// pool order; one that dies *during* shutdown fails its backlog over
+    /// to replicas not yet drained (or, if none remain, the fleet shed
+    /// bucket — accounted either way).
+    pub fn finish(mut self) -> FleetReport {
+        for i in 0..self.slots.len() {
+            if self.slots[i].dead {
+                // the death path may already have recovered its report
+                continue;
+            }
+            match self.slots[i].link.finish() {
+                Ok(report) => {
+                    self.slots[i].finished = true;
+                    self.slots[i].assigned.clear();
+                    self.slots[i].report = Some(report);
+                }
+                Err(err) => {
+                    let last_arrival = self.slots[i]
+                        .assigned
+                        .last()
+                        .map(|&(_, ms)| ms)
+                        .unwrap_or(0.0);
+                    self.on_death(i, last_arrival, &err);
+                }
+            }
+        }
+
+        let mut completed: Vec<(usize, f64)> = Vec::new();
+        let mut expired: Vec<usize> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        let mut replicas: Vec<ReplicaReport> = Vec::new();
+        for slot in &mut self.slots {
+            match slot.report.take() {
+                Some(report) => {
+                    completed.extend(report.completed.iter().copied());
+                    expired.extend(report.expired.iter().copied());
+                    failed.extend(report.failed.iter().copied());
+                    replicas.push(report);
+                }
+                // a crashed remote replica delivered nothing; remember it
+                // as a zeroed stub so pool order stays meaningful
+                None => replicas.push(ReplicaReport {
+                    name: slot.name.clone(),
+                    device: slot.device.clone(),
+                    offered: 0,
+                    completed: vec![],
+                    shed: vec![],
+                    expired: vec![],
+                    failed: vec![],
+                    batches: 0,
+                    makespan_ms: 0.0,
+                    degraded_batches: 0,
+                    breaker_trips: 0,
+                    breaker_recoveries: 0,
+                    digest: 0,
+                    warm_start: slot.link.warm_start(),
+                    dead: true,
+                }),
+            }
+        }
+        completed.sort_by(|a, b| a.0.cmp(&b.0));
+        expired.sort_unstable();
+        failed.sort_unstable();
+        let mut shed = self.fleet_shed;
+        shed.sort_unstable();
+
+        self.metrics.add("fleet.completed", completed.len() as u64);
+        self.metrics.add("fleet.expired", expired.len() as u64);
+        self.metrics.add("fleet.failed", failed.len() as u64);
+
+        FleetReport {
+            offered: self.offered,
+            completed,
+            shed,
+            expired,
+            failed,
+            rerouted: self.rerouted,
+            replica_deaths: self.deaths,
+            replicas,
+            decisions: self.decisions,
+        }
+    }
+}
+
+/// Router-side handle to a replica across TCP. Any transport failure —
+/// a refused write, a dropped connection, a killed process — surfaces as
+/// `Err` from [`ReplicaLink::submit`], which the router treats as a
+/// death; nothing is recoverable from a remote corpse, so
+/// [`ReplicaLink::orphans`] returns `(None, None)` and the router fails
+/// the whole assignment ledger over.
+pub struct RemoteReplica {
+    conn: TcpStream,
+    name: String,
+    device: String,
+    predicted_ms: f64,
+    warm: bool,
+}
+
+fn unexpected(frame: &FleetFrame) -> io::Error {
+    io::Error::new(
+        ErrorKind::InvalidData,
+        format!("unexpected frame from replica: {frame:?}"),
+    )
+}
+
+impl RemoteReplica {
+    /// Connect and handshake.
+    pub fn connect(addr: &str) -> io::Result<RemoteReplica> {
+        let mut conn = TcpStream::connect(addr)?;
+        write_frame(&mut conn, &FleetFrame::Hello)?;
+        match read_frame(&mut conn)? {
+            FleetFrame::HelloAck { name, device } => Ok(RemoteReplica {
+                conn,
+                name,
+                device,
+                predicted_ms: 0.0,
+                warm: false,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Load a zoo model on the replica. Returns `(warm, predicted_ms)`;
+    /// both are also retained on the handle for routing.
+    pub fn load(&mut self, model: &str) -> io::Result<(bool, f64)> {
+        write_frame(&mut self.conn, &FleetFrame::Load { model: model.into() })?;
+        match read_frame(&mut self.conn)? {
+            FleetFrame::LoadAck { warm, predicted_ms } => {
+                self.warm = warm;
+                self.predicted_ms = predicted_ms;
+                Ok((warm, predicted_ms))
+            }
+            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the loaded model's artifact in JSONL wire form.
+    pub fn fetch_artifact(&mut self) -> io::Result<String> {
+        write_frame(&mut self.conn, &FleetFrame::FetchArtifact)?;
+        match read_frame(&mut self.conn)? {
+            FleetFrame::ArtifactBlob { jsonl } => Ok(jsonl),
+            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Seed the replica's artifact cache ahead of its `load`.
+    pub fn push_artifact(&mut self, jsonl: &str) -> io::Result<bool> {
+        write_frame(&mut self.conn, &FleetFrame::PushArtifact { jsonl: jsonl.into() })?;
+        match read_frame(&mut self.conn)? {
+            FleetFrame::PushAck { stored } => Ok(stored),
+            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+impl ReplicaLink for RemoteReplica {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn device(&self) -> &str {
+        &self.device
+    }
+
+    fn predicted_ms(&self) -> f64 {
+        self.predicted_ms
+    }
+
+    fn warm_start(&self) -> bool {
+        self.warm
+    }
+
+    fn submit(&mut self, id: usize, arrival_ms: f64) -> io::Result<(bool, ReplicaHealth)> {
+        write_frame(&mut self.conn, &FleetFrame::Infer { id, arrival_ms })?;
+        match read_frame(&mut self.conn)? {
+            FleetFrame::InferAck { admitted, health } => Ok((admitted, health)),
+            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::BrokenPipe, message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn orphans(&mut self) -> (Option<Vec<(usize, f64)>>, Option<ReplicaReport>) {
+        (None, None)
+    }
+
+    fn finish(&mut self) -> io::Result<ReplicaReport> {
+        write_frame(&mut self.conn, &FleetFrame::Finish)?;
+        match read_frame(&mut self.conn)? {
+            FleetFrame::Report(report) => Ok(*report),
+            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::BrokenPipe, message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scriptable fake replica: admits everything until `die_at`,
+    /// reporting a fixed health snapshot.
+    struct FakeReplica {
+        name: String,
+        predicted_ms: f64,
+        health: ReplicaHealth,
+        admitted: Vec<(usize, f64)>,
+        shed_all: bool,
+        die_on_submit: Option<usize>,
+        submits: usize,
+        dead: bool,
+    }
+
+    impl FakeReplica {
+        fn new(name: &str, predicted_ms: f64) -> Self {
+            FakeReplica {
+                name: name.into(),
+                predicted_ms,
+                health: ReplicaHealth::default(),
+                admitted: Vec::new(),
+                shed_all: false,
+                die_on_submit: None,
+                submits: 0,
+                dead: false,
+            }
+        }
+    }
+
+    impl ReplicaLink for FakeReplica {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn device(&self) -> &str {
+            "fake"
+        }
+        fn predicted_ms(&self) -> f64 {
+            self.predicted_ms
+        }
+        fn warm_start(&self) -> bool {
+            false
+        }
+        fn submit(&mut self, id: usize, arrival_ms: f64) -> io::Result<(bool, ReplicaHealth)> {
+            if self.dead {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"));
+            }
+            self.submits += 1;
+            if self.die_on_submit.is_some_and(|nth| self.submits >= nth) {
+                self.dead = true;
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "died"));
+            }
+            if self.shed_all {
+                return Ok((false, self.health));
+            }
+            self.admitted.push((id, arrival_ms));
+            Ok((true, self.health))
+        }
+        fn orphans(&mut self) -> (Option<Vec<(usize, f64)>>, Option<ReplicaReport>) {
+            // behaves like a remote crash: nothing recoverable
+            (None, None)
+        }
+        fn finish(&mut self) -> io::Result<ReplicaReport> {
+            if self.dead {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"));
+            }
+            Ok(ReplicaReport {
+                name: self.name.clone(),
+                device: "fake".into(),
+                offered: self.admitted.len(),
+                completed: self
+                    .admitted
+                    .iter()
+                    .map(|&(id, _)| (id, self.predicted_ms))
+                    .collect(),
+                shed: vec![],
+                expired: vec![],
+                failed: vec![],
+                batches: self.admitted.len(),
+                makespan_ms: 0.0,
+                degraded_batches: 0,
+                breaker_trips: 0,
+                breaker_recoveries: 0,
+                digest: 7,
+                warm_start: false,
+                dead: false,
+            })
+        }
+    }
+
+    fn pool(replicas: Vec<FakeReplica>) -> Vec<Box<dyn ReplicaLink>> {
+        replicas
+            .into_iter()
+            .map(|r| Box::new(r) as Box<dyn ReplicaLink>)
+            .collect()
+    }
+
+    #[test]
+    fn pow2_prefers_the_lighter_faster_replica() {
+        // one fast idle replica vs one slow replica with a deep queue:
+        // every two-candidate draw that sees both must pick the fast one
+        let fast = FakeReplica::new("fast", 1.0);
+        let mut slow = FakeReplica::new("slow", 10.0);
+        slow.health.queue_depth = 8;
+        let mut router = Router::new(RouterConfig::default(), pool(vec![fast, slow]));
+        for id in 0..64 {
+            assert!(router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.lost(), 0);
+        let fast_share = report.replicas[0].offered;
+        let slow_share = report.replicas[1].offered;
+        assert!(
+            fast_share > slow_share,
+            "fast {fast_share} vs slow {slow_share}"
+        );
+    }
+
+    #[test]
+    fn round_robin_ignores_load() {
+        let fast = FakeReplica::new("fast", 1.0);
+        let mut slow = FakeReplica::new("slow", 50.0);
+        slow.health.queue_depth = 100;
+        let cfg = RouterConfig {
+            policy: RoutePolicy::RoundRobin,
+            ..RouterConfig::default()
+        };
+        let mut router = Router::new(cfg, pool(vec![fast, slow]));
+        for id in 0..10 {
+            router.route(id, id as f64);
+        }
+        let report = router.finish();
+        assert_eq!(report.replicas[0].offered, 5);
+        assert_eq!(report.replicas[1].offered, 5);
+    }
+
+    #[test]
+    fn open_breaker_gets_zero_admissions_until_its_probe_instant() {
+        let mut tripped = FakeReplica::new("tripped", 1.0);
+        tripped.health.breaker = 1.0;
+        tripped.health.breaker_open_until_ms = Some(100.0);
+        let healthy = FakeReplica::new("healthy", 5.0);
+        let mut router = Router::new(RouterConfig::default(), pool(vec![tripped, healthy]));
+        for id in 0..20 {
+            assert!(router.route(id, id as f64 * 4.0)); // arrivals 0..76
+        }
+        // arrivals past 100 may probe the tripped replica again
+        assert!(router.route(20, 120.0));
+        let report = router.finish();
+        assert_eq!(report.lost(), 0);
+        for d in &report.decisions {
+            if d.replica == 0 && d.breaker == 1.0 {
+                assert!(
+                    d.arrival_ms >= 100.0,
+                    "open replica admitted id {} at {}",
+                    d.id,
+                    d.arrival_ms
+                );
+            }
+        }
+        // before the probe instant, everything went to the healthy peer
+        assert!(report.replicas[1].offered >= 20);
+    }
+
+    #[test]
+    fn burning_replica_sheds_to_peers() {
+        let mut burning = FakeReplica::new("burning", 1.0);
+        burning.health.burn_rate = 100.0;
+        let calm = FakeReplica::new("calm", 5.0);
+        let mut router = Router::new(RouterConfig::default(), pool(vec![burning, calm]));
+        for id in 0..12 {
+            assert!(router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.replicas[0].offered, 0);
+        assert_eq!(report.replicas[1].offered, 12);
+    }
+
+    #[test]
+    fn remote_death_fails_the_backlog_over_without_loss() {
+        let mut doomed = FakeReplica::new("doomed", 1.0);
+        doomed.die_on_submit = Some(5);
+        let survivor = FakeReplica::new("survivor", 1.0);
+        let mut router = Router::new(RouterConfig::default(), pool(vec![doomed, survivor]));
+        for id in 0..30 {
+            assert!(router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.replica_deaths, 1);
+        assert!(report.rerouted > 0, "the doomed backlog must re-route");
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.completed.len(), 30);
+        assert!(report.replicas[0].dead);
+        // every id completed exactly once
+        let ids: Vec<usize> = report.completed.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_fully_unhealthy_fleet_sheds_instead_of_losing() {
+        let mut a = FakeReplica::new("a", 1.0);
+        a.shed_all = true;
+        let mut b = FakeReplica::new("b", 1.0);
+        b.shed_all = true;
+        let mut router = Router::new(RouterConfig::default(), pool(vec![a, b]));
+        for id in 0..5 {
+            assert!(!router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.shed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(report.lost(), 0);
+    }
+
+    #[test]
+    fn identical_runs_route_and_digest_identically() {
+        let run = || {
+            let mut doomed = FakeReplica::new("doomed", 2.0);
+            doomed.die_on_submit = Some(7);
+            let steady = FakeReplica::new("steady", 1.0);
+            let slow = FakeReplica::new("slow", 8.0);
+            let mut router =
+                Router::new(RouterConfig::default(), pool(vec![doomed, steady, slow]));
+            for id in 0..50 {
+                router.route(id, id as f64 * 0.5);
+            }
+            router.finish()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.lost(), 0);
+    }
+}

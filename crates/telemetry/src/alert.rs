@@ -58,10 +58,12 @@ impl fmt::Display for AlertRule {
 impl AlertRule {
     /// Parse one `name:metric>value` rule. The comparator may be `>`,
     /// `>=`, `<`, or `<=`; the metric name may contain dots (everything
-    /// between the first `:` and the comparator).
+    /// between the first `:` and the comparator). Errors quote `spec`
+    /// verbatim — exactly as the caller wrote it, whitespace and all — so
+    /// the offending rule in a comma list is findable by eye.
     pub fn parse(spec: &str) -> Result<AlertRule, String> {
-        let spec = spec.trim();
-        let (name, rest) = spec
+        let body = spec.trim();
+        let (name, rest) = body
             .split_once(':')
             .ok_or_else(|| format!("alert rule '{spec}': expected name:metric>value"))?;
         let name = name.trim();
@@ -277,6 +279,35 @@ mod tests {
         assert_eq!(rules.len(), 2);
         assert_eq!(rules[1].name, "shed");
         assert_eq!(rules[1].cmp, Cmp::Ge);
+    }
+
+    #[test]
+    fn whitespace_around_every_token_parses() {
+        let r = AlertRule::parse("  p99 : engine.latency_ms >= 250  ").unwrap();
+        assert_eq!(r.name, "p99");
+        assert_eq!(r.metric, "engine.latency_ms");
+        assert_eq!(r.cmp, Cmp::Ge);
+        assert_eq!(r.value, 250.0);
+    }
+
+    #[test]
+    fn errors_name_the_offending_rule_verbatim() {
+        // the error quotes the spec exactly as the caller wrote it —
+        // untrimmed — so the bad rule is findable by eye in a comma list
+        let spec = "  p99 : engine.latency_ms >  ";
+        let err = AlertRule::parse(spec).unwrap_err();
+        assert!(
+            err.contains("'  p99 : engine.latency_ms >  '"),
+            "got: {err}"
+        );
+        // through parse_rules, the quoted text is the verbatim list segment
+        let err = AlertRule::parse_rules("ok:m>1,  bad : x > abc ").unwrap_err();
+        assert!(err.contains("'  bad : x > abc '"), "got: {err}");
+        // every error family quotes the full spec
+        for bad in ["no-colon>1", " :m>1", "a: >1", "a:m>inf"] {
+            let err = AlertRule::parse(bad).unwrap_err();
+            assert!(err.contains(&format!("'{bad}'")), "got: {err}");
+        }
     }
 
     #[test]

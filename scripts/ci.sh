@@ -332,4 +332,105 @@ echo "flight recorder gate: $dump_count chaos dump(s) valid, shutdown dump repro
 rm -rf "$rec_tmp"
 trap - EXIT
 
+echo "==> fleet loopback smoke test"
+# Router + three heterogeneous replica processes on ephemeral loopback
+# ports. The fast replica is killed mid-traffic on a deterministic submit
+# counter while another replica runs under a UNIGPU_FAULTS plan that trips
+# its breaker; the router must fail the dead replica's backlog over and
+# print a balanced fleet accounting line — zero lost.
+fleet_tmp=$(mktemp -d)
+fleet_pids=()
+cleanup_fleet() {
+  for p in "${fleet_pids[@]:-}"; do
+    if [ -n "$p" ]; then
+      kill "$p" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$fleet_tmp"
+}
+trap cleanup_fleet EXIT
+start_replica() { # $1=file-tag $2=replica-name $3=device $4=extra-env $5... extra flags
+  # tag names the per-process files; name is the replica's protocol name
+  # (kept identical across determinism runs — it feeds the fleet digest)
+  local tag=$1 name=$2 device=$3 env_plan=$4
+  shift 4
+  env ${env_plan:+UNIGPU_FAULTS="$env_plan"} UNIGPU_DB_DIR="$fleet_tmp/db-$tag" \
+    ./target/release/unigpu fleet replica --listen 127.0.0.1:0 \
+    --device "$device" --name "$name" --port-file "$fleet_tmp/$tag.port" \
+    --cache-dir "$fleet_tmp/cache-$tag" "$@" \
+    > "$fleet_tmp/$tag.log" 2>&1 &
+  fleet_pids+=($!)
+  for _ in $(seq 1 100); do
+    [ -s "$fleet_tmp/$tag.port" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$fleet_tmp/$tag.port" ]; then
+    echo "error: fleet replica $tag never wrote its port file"
+    cat "$fleet_tmp/$tag.log" || true
+    exit 1
+  fi
+}
+# victim: the fastest device, so its kill counter is reached early and the
+# death lands mid-traffic with a populated backlog to fail over
+start_replica chaos-r0 r0 deeplens "" --die-on-submit 12
+start_replica chaos-r1 r1 aisage "kernel_fail_first=4" --queue-cap 16 --deadline-ms 2000
+start_replica chaos-r2 r2 nano "" --queue-cap 16 --deadline-ms 2000
+if ! ./target/release/unigpu fleet router \
+    --replica "$(cat "$fleet_tmp/chaos-r0.port")" \
+    --replica "$(cat "$fleet_tmp/chaos-r1.port")" \
+    --replica "$(cat "$fleet_tmp/chaos-r2.port")" \
+    --model SqueezeNet1.0 --requests 96 > "$fleet_tmp/router.log" 2>&1; then
+  echo "error: fleet router exited non-zero under the chaos plan"
+  cat "$fleet_tmp/router.log"
+  exit 1
+fi
+if ! grep -q '(0 lost)' "$fleet_tmp/router.log"; then
+  echo "error: fleet chaos run lost requests (accounting did not balance):"
+  cat "$fleet_tmp/router.log"
+  exit 1
+fi
+if ! grep -q 'offered=96' "$fleet_tmp/router.log"; then
+  echo "error: fleet accounting line missing or wrong offered count:"
+  cat "$fleet_tmp/router.log"
+  exit 1
+fi
+if ! grep -q 'deaths=1' "$fleet_tmp/router.log"; then
+  echo "error: the deterministic replica kill was not observed:"
+  cat "$fleet_tmp/router.log"
+  exit 1
+fi
+grep '^fleet accounting:' "$fleet_tmp/router.log"
+# zero-noise determinism: two clean fleet runs (fresh caches, no faults,
+# no kill) over a warm-replicating two-device pool must print identical
+# fleet digests, and the same-device peer must come up warm
+for run in 1 2; do
+  fleet_pids=()
+  start_replica "det$run-r0" r0 deeplens ""
+  start_replica "det$run-r1" r1 deeplens ""
+  start_replica "det$run-r2" r2 nano ""
+  if ! ./target/release/unigpu fleet router \
+      --replica "$(cat "$fleet_tmp/det$run-r0.port")" \
+      --replica "$(cat "$fleet_tmp/det$run-r1.port")" \
+      --replica "$(cat "$fleet_tmp/det$run-r2.port")" \
+      --model SqueezeNet1.0 --requests 48 > "$fleet_tmp/det$run.log" 2>&1; then
+    echo "error: zero-noise fleet run $run exited non-zero"
+    cat "$fleet_tmp/det$run.log"
+    exit 1
+  fi
+  if ! grep -q 'warm (replicated artifact)' "$fleet_tmp/det$run.log"; then
+    echo "error: fleet run $run never warm-replicated the same-device peer:"
+    cat "$fleet_tmp/det$run.log"
+    exit 1
+  fi
+done
+f1=$(grep '^fleet digest:' "$fleet_tmp/det1.log" || true)
+f2=$(grep '^fleet digest:' "$fleet_tmp/det2.log" || true)
+if [ -z "$f1" ] || [ "$f1" != "$f2" ]; then
+  echo "error: zero-noise fleet runs are not byte-identical: '$f1' vs '$f2'"
+  exit 1
+fi
+echo "fleet smoke test: chaos accounting balanced, '$f1' reproduced across runs"
+cleanup_fleet
+trap - EXIT
+
 echo "ci: all gates passed"

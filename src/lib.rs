@@ -8,6 +8,7 @@ pub use unigpu_graph as graph;
 pub use unigpu_tuner as tuner;
 pub use unigpu_farm as farm;
 pub use unigpu_engine as engine;
+pub use unigpu_fleet as fleet;
 pub use unigpu_models as models;
 pub use unigpu_baselines as baselines;
 

@@ -16,6 +16,8 @@
 //! unigpu farm tracker --listen 127.0.0.1:9190
 //! unigpu farm worker --tracker 127.0.0.1:9190 --device deeplens
 //! unigpu tune SqueezeNet1.0 --farm 127.0.0.1:9190
+//! unigpu fleet replica --device nano --port-file r0.port --cache-dir /tmp/r0
+//! unigpu fleet router --replica 127.0.0.1:9201 --replica 127.0.0.1:9202 --requests 96
 //! unigpu codegen --target cuda
 //! unigpu dot MobileNet1.0 > mobilenet.dot
 //! ```
@@ -34,6 +36,10 @@ use unigpu::models::full_zoo;
 use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
 use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
+use unigpu::fleet::{
+    run_replica, warm_remote_pool, RemoteReplica, ReplicaConfig, ReplicaLink, RoutePolicy, Router,
+    RouterConfig,
+};
 use unigpu::telemetry::{
     tel_error, tel_warn, AlertRule, ChromeTrace, MetricsRegistry, MetricsServer, SpanRecorder,
 };
@@ -77,6 +83,16 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str())
+}
+
+/// Every value of a repeatable flag (`--replica A --replica B`), in order.
+fn opt_all<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(|s| s.as_str())
+        .collect()
 }
 
 fn cmd_models() -> Result<(), CliError> {
@@ -737,6 +753,178 @@ fn cmd_farm(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// `unigpu fleet replica|router` — fleet-scale serving over TCP loopback.
+/// A replica wraps one simulated device's server behind the framing
+/// protocol and serves one router connection to completion; the router
+/// shards a synthetic request stream across the pool with
+/// power-of-two-choices weighted by predicted cost, warm-replicating
+/// artifacts between same-device peers before traffic starts.
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("replica") => {
+            let device = opt(args, "--device").unwrap_or("deeplens");
+            let platform = platform_by_name(device)?;
+            let name = opt(args, "--name").unwrap_or("replica").to_string();
+            let listen = opt(args, "--listen").unwrap_or("127.0.0.1:0");
+            let listener = std::net::TcpListener::bind(listen)
+                .map_err(|e| CliError(format!("failed to bind replica on {listen}: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| CliError(format!("no local addr: {e}")))?;
+            println!("replica `{name}` serving {} on {addr}", platform.gpu.name);
+            if let Some(path) = opt(args, "--port-file") {
+                std::fs::write(path, addr.to_string())
+                    .map_err(|e| CliError(format!("failed to write port file {path}: {e}")))?;
+            }
+            // fault injection reads the same UNIGPU_FAULTS plan as `serve`
+            let faults = match opt(args, "--faults") {
+                Some(spec) => DeviceFaultPlan::parse(spec),
+                None => DeviceFaultPlan::from_env(),
+            };
+            if !faults.is_noop() {
+                tel_warn!("unigpu::cli", "device fault injection active: {faults:?}");
+            }
+            let concurrency = opt(args, "--concurrency").and_then(|s| s.parse().ok()).unwrap_or(1);
+            let batch = opt(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(4);
+            let mut builder = ServeConfig::builder()
+                .concurrency(concurrency)
+                .max_batch(batch)
+                .faults(faults);
+            if let Some(w) = opt(args, "--window-ms").and_then(|s| s.parse().ok()) {
+                builder = builder.batch_window(Duration::from_millis(w));
+            }
+            if let Some(cap) = opt(args, "--queue-cap").and_then(|s| s.parse().ok()) {
+                builder = builder.queue_cap(cap);
+            }
+            if let Some(d) = opt(args, "--deadline-ms").and_then(|s| s.parse().ok()) {
+                builder = builder.deadline_ms(d);
+            }
+            let serve = builder
+                .build()
+                .map_err(|e| CliError(format!("invalid serve config: {e}")))?;
+            let cfg = ReplicaConfig {
+                name: name.clone(),
+                platform,
+                serve,
+                cache_dir: opt(args, "--cache-dir").map(PathBuf::from),
+                die_on_submit: opt(args, "--die-on-submit").and_then(|s| s.parse().ok()),
+            };
+            run_replica(&listener, &cfg)
+                .map_err(|e| CliError(format!("replica `{name}` transport failure: {e}")))?;
+            println!("replica `{name}` exited cleanly");
+            Ok(())
+        }
+        Some("router") => {
+            let addrs = opt_all(args, "--replica");
+            if addrs.is_empty() {
+                return Err(CliError(
+                    "fleet router needs at least one --replica HOST:PORT".into(),
+                ));
+            }
+            let model = opt(args, "--model").unwrap_or("SqueezeNet1.0");
+            let n: usize = opt(args, "--requests").and_then(|s| s.parse().ok()).unwrap_or(64);
+            let policy = match opt(args, "--policy") {
+                Some("round-robin") => RoutePolicy::RoundRobin,
+                Some("pow2") | None => RoutePolicy::PowerOfTwo,
+                Some(p) => {
+                    return Err(CliError(format!(
+                        "unknown policy `{p}` (use pow2|round-robin)"
+                    )))
+                }
+            };
+            let mut cfg = RouterConfig {
+                policy,
+                ..RouterConfig::default()
+            };
+            if let Some(seed) = opt(args, "--seed").and_then(|s| s.parse().ok()) {
+                cfg.seed = seed;
+            }
+            let mut replicas = Vec::with_capacity(addrs.len());
+            for a in &addrs {
+                let r = RemoteReplica::connect(a)
+                    .map_err(|e| CliError(format!("failed to connect replica {a}: {e}")))?;
+                println!("connected replica `{}` ({}) at {a}", r.name(), r.device());
+                replicas.push(r);
+            }
+            let warm = warm_remote_pool(&mut replicas, model)
+                .map_err(|e| CliError(format!("warm replication failed: {e}")))?;
+            for (r, w) in replicas.iter().zip(&warm) {
+                println!(
+                    "loaded {model} on `{}`: {} ({:.2} ms predicted)",
+                    r.name(),
+                    if *w { "warm (replicated artifact)" } else { "cold compile" },
+                    r.predicted_ms()
+                );
+            }
+            // offer slightly faster than the fastest replica drains, so the
+            // router's queue-depth weighting has contrast to work with
+            let interval = opt(args, "--interval-ms")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    replicas
+                        .iter()
+                        .map(|r| r.predicted_ms())
+                        .fold(f64::INFINITY, f64::min)
+                        * 0.5
+                });
+            let mut router = Router::new(
+                cfg,
+                replicas
+                    .into_iter()
+                    .map(|r| Box::new(r) as Box<dyn ReplicaLink>)
+                    .collect(),
+            );
+            for id in 0..n {
+                router.route(id, id as f64 * interval);
+            }
+            let report = router.finish();
+            for r in &report.replicas {
+                println!(
+                    "replica `{}` [{}]: offered={} completed={} batches={} trips={}{}{}",
+                    r.name,
+                    r.device,
+                    r.offered,
+                    r.completed.len(),
+                    r.batches,
+                    r.breaker_trips,
+                    if r.warm_start { " warm" } else { "" },
+                    if r.dead { " DEAD" } else { "" },
+                );
+            }
+            println!(
+                "fleet accounting: offered={} completed={} shed={} expired={} failed={} \
+                 rerouted={} deaths={} ({} lost)",
+                report.offered,
+                report.completed.len(),
+                report.shed.len(),
+                report.expired.len(),
+                report.failed.len(),
+                report.rerouted,
+                report.replica_deaths,
+                report.lost()
+            );
+            println!("fleet p99: {:.2} ms", report.p99_latency_ms());
+            println!("fleet digest: {:016x}", report.digest());
+            if report.lost() != 0 {
+                return Err(CliError(format!(
+                    "fleet lost {} requests — accounting invariant violated",
+                    report.lost()
+                )));
+            }
+            Ok(())
+        }
+        _ => Err(CliError(
+            "usage: unigpu fleet replica [--listen ADDR] [--device deeplens|aisage|nano] \
+             [--name N] [--port-file F] [--cache-dir DIR] [--concurrency K] [--batch B] \
+             [--window-ms W] [--queue-cap N] [--deadline-ms D] [--faults PLAN] \
+             [--die-on-submit N]\n       \
+             unigpu fleet router --replica ADDR [--replica ADDR ...] [--model M] \
+             [--requests N] [--interval-ms I] [--policy pow2|round-robin] [--seed S]"
+                .into(),
+        )),
+    }
+}
+
 fn cmd_codegen(args: &[String]) -> Result<(), CliError> {
     let target = match opt(args, "--target").unwrap_or("opencl") {
         "cuda" => Target::Cuda,
@@ -795,6 +983,13 @@ fn usage() -> CliError {
            farm tracker [--listen ADDR] [--lease-ms N] [--retries N]\n\
                     [--port-file F] [--trace out.json]\n\
            farm worker --tracker ADDR [--device deeplens|aisage|nano] [--name N]\n\
+           fleet replica [--listen ADDR] [--device D] [--name N] [--port-file F]\n\
+                    [--cache-dir DIR] [--concurrency K] [--batch B] [--window-ms W]\n\
+                    [--queue-cap N] [--deadline-ms D] [--faults PLAN]\n\
+                    [--die-on-submit N]\n\
+           fleet router --replica ADDR [--replica ADDR ...] [--model M]\n\
+                    [--requests N] [--interval-ms I] [--policy pow2|round-robin]\n\
+                    [--seed S]\n\
            codegen [--target opencl|cuda]\n\
            dot <model>                    emit Graphviz"
             .into(),
@@ -812,6 +1007,7 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("farm") => cmd_farm(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("codegen") => cmd_codegen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         _ => Err(usage()),
