@@ -1,0 +1,101 @@
+//! Deterministic bounded exponential backoff, shared by the farm worker's
+//! reconnect loop and the fleet router's reconnect-with-resume path.
+//!
+//! No RNG, no jitter, no wall-clock reads: the schedule is a pure function
+//! of the attempt count (`min(base << used, max)`), so two replays of the
+//! same fault plan wait the same simulated (or real) milliseconds in the
+//! same order. Callers decide what a "delay" means — the worker sleeps for
+//! real, the router just accounts the milliseconds on its simulated clock.
+
+/// Bounded deterministic exponential backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base_ms: u64,
+    max_ms: u64,
+    attempts: u32,
+    used: u32,
+}
+
+impl Backoff {
+    /// A schedule of at most `attempts` delays starting at `base_ms` and
+    /// doubling up to `max_ms`.
+    pub fn new(base_ms: u64, max_ms: u64, attempts: u32) -> Backoff {
+        Backoff { base_ms, max_ms, attempts, used: 0 }
+    }
+
+    /// The next delay in milliseconds, or `None` once the attempt budget
+    /// is spent (the caller should give up and escalate).
+    pub fn next_delay_ms(&mut self) -> Option<u64> {
+        if self.used >= self.attempts {
+            return None;
+        }
+        let shift = self.used.min(63);
+        let delay = self.base_ms.saturating_shl(shift).min(self.max_ms);
+        self.used += 1;
+        Some(delay)
+    }
+
+    /// Forget past failures — call after a successful exchange so the next
+    /// disconnect starts from the base delay with a full budget again.
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Delays handed out since the last [`reset`](Backoff::reset).
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_up_to_the_cap_then_exhausts() {
+        let mut b = Backoff::new(10, 100, 6);
+        let delays: Vec<u64> = std::iter::from_fn(|| b.next_delay_ms()).collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 100, 100]);
+        assert_eq!(b.next_delay_ms(), None);
+        assert_eq!(b.used(), 6);
+    }
+
+    #[test]
+    fn reset_restores_the_full_budget() {
+        let mut b = Backoff::new(5, 1000, 3);
+        assert_eq!(b.next_delay_ms(), Some(5));
+        assert_eq!(b.next_delay_ms(), Some(10));
+        b.reset();
+        assert_eq!(b.next_delay_ms(), Some(5));
+        assert_eq!(b.used(), 1);
+    }
+
+    #[test]
+    fn zero_attempts_never_delays() {
+        let mut b = Backoff::new(10, 100, 0);
+        assert_eq!(b.next_delay_ms(), None);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(u64::MAX / 2, u64::MAX, 80);
+        for _ in 0..80 {
+            assert!(b.next_delay_ms().is_some());
+        }
+        assert_eq!(b.next_delay_ms(), None);
+    }
+}

@@ -6,10 +6,22 @@
 //! place where that framing, the 16 MiB body cap, and the protocol-error
 //! taxonomy live; protocols supply their own frame enum via serde.
 //!
+//! Two wire formats coexist:
+//!
+//! * **v1** (the free functions [`write_frame`]/[`read_frame`]):
+//!   `len:u32be | body` — what every peer speaks at connect time.
+//! * **v2** ([`Framed`] after [`Framed::upgrade`]):
+//!   `len:u32be | seq:u64be | body | crc32(seq‖body):u32be` — negotiated
+//!   in each protocol's hello exchange. The CRC turns wire corruption
+//!   into a typed [`FrameError::ChecksumMismatch`] instead of a JSON
+//!   parse failure; the monotonic sequence number lets a receiver drop
+//!   duplicated frames silently and flag gaps.
+//!
 //! Error contract (shared by every protocol built on this codec):
 //! - a clean peer close or truncated body surfaces as `UnexpectedEof`;
-//! - an oversized length prefix or unparseable body surfaces as
-//!   `InvalidData` — the caller should answer with its protocol's error
+//! - an oversized length prefix, unparseable body, bad checksum, or
+//!   sequence gap surfaces as `InvalidData` once converted to
+//!   `io::Error` — the caller should answer with its protocol's error
 //!   frame and drop the connection.
 
 use serde::de::DeserializeOwned;
@@ -20,6 +32,150 @@ use std::io::{self, Read, Write};
 /// in a large CNN or a fleet artifact push is a few hundred KiB — but small
 /// enough that a corrupt length prefix cannot drive a multi-GiB allocation.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// The framing format this build can speak; advertised in hello frames.
+pub const FRAMING_VERSION: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — table built at compile
+// time so the codec stays dependency-free.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 = CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// CRC32 of one buffer (IEEE polynomial; `crc32(b"123456789") == 0xCBF43926`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong reading or writing one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (including `UnexpectedEof` on clean close).
+    Io(io::Error),
+    /// Body or length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// Body is not valid JSON for the expected frame type.
+    Malformed(String),
+    /// The v2 CRC trailer does not match the received bytes.
+    ChecksumMismatch { wire: u32, computed: u32 },
+    /// The sender skipped ahead: frames were lost between the peers.
+    SequenceGap { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::ChecksumMismatch { wire, computed } => write!(
+                f,
+                "frame checksum mismatch: wire says {wire:08x}, bytes hash to {computed:08x}"
+            ),
+            FrameError::SequenceGap { expected, got } => {
+                write!(f, "frame sequence gap: expected seq {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+impl FrameError {
+    /// True when the failure is a disconnect rather than a protocol
+    /// violation — the cue for reconnect-and-resume instead of giving up.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, FrameError::Io(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body reader — never trusts the length prefix with an allocation
+// ---------------------------------------------------------------------------
+
+/// Read exactly `len` body bytes via `Read::take` into a growing buffer,
+/// so a corrupt-but-under-cap prefix on a short connection costs a short
+/// read, not a 16 MiB up-front allocation.
+fn read_body<R: Read + ?Sized>(r: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(len.min(64 * 1024));
+    let got = (&mut *r).take(len as u64).read_to_end(&mut body)?;
+    if got < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("frame body truncated: got {got} of {len} bytes"),
+        ));
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// v1 free functions (the connect-time dialect everyone speaks)
+// ---------------------------------------------------------------------------
 
 /// Serialize `frame` as one length-prefixed JSON message.
 pub fn write_frame<F: Serialize>(w: &mut dyn Write, frame: &F) -> io::Result<()> {
@@ -46,10 +202,131 @@ pub fn read_frame<F: DeserializeOwned>(r: &mut dyn Read) -> io::Result<F> {
             format!("frame length prefix of {len} bytes exceeds MAX_FRAME_BYTES"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    let body = read_body(r, len)?;
     serde_json::from_slice(&body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Framed — stateful codec that can upgrade from v1 to v2 mid-connection
+// ---------------------------------------------------------------------------
+
+/// A stateful frame codec over one connection. Starts in v1 (plain
+/// length-prefixed) mode; after both peers agree in their hello exchange,
+/// [`upgrade`](Framed::upgrade) switches to v2 with fresh sequence
+/// counters on both sides.
+pub struct Framed<S> {
+    stream: S,
+    v2: bool,
+    next_send_seq: u64,
+    next_recv_seq: u64,
+    dup_skipped: u64,
+}
+
+impl<S: Read + Write> Framed<S> {
+    /// Wrap a transport in v1 mode.
+    pub fn new(stream: S) -> Framed<S> {
+        Framed { stream, v2: false, next_send_seq: 0, next_recv_seq: 0, dup_skipped: 0 }
+    }
+
+    /// Switch this side to the v2 format, resetting both sequence spaces.
+    /// Call at the same protocol point on both peers (after the hello
+    /// exchange that negotiated it).
+    pub fn upgrade(&mut self) {
+        self.v2 = true;
+        self.next_send_seq = 0;
+        self.next_recv_seq = 0;
+    }
+
+    pub fn is_v2(&self) -> bool {
+        self.v2
+    }
+
+    /// Duplicate frames this receiver has silently discarded by sequence
+    /// number (e.g. a `dup_frame_nth` injection or a replay overlap).
+    pub fn dup_frames_skipped(&self) -> u64 {
+        self.dup_skipped
+    }
+
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Serialize and send one frame (exactly one `flush` per frame — the
+    /// boundary the chaos layer keys on).
+    pub fn send<F: Serialize>(&mut self, frame: &F) -> Result<(), FrameError> {
+        let body =
+            serde_json::to_vec(frame).map_err(|e| FrameError::Malformed(e.to_string()))?;
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge(body.len()));
+        }
+        if !self.v2 {
+            self.stream.write_all(&(body.len() as u32).to_be_bytes())?;
+            self.stream.write_all(&body)?;
+            self.stream.flush()?;
+            return Ok(());
+        }
+        let seq = self.next_send_seq;
+        self.next_send_seq += 1;
+        let mut h = Crc32::new();
+        h.update(&seq.to_be_bytes());
+        h.update(&body);
+        let crc = h.finish();
+        let mut wire = Vec::with_capacity(16 + body.len());
+        wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&seq.to_be_bytes());
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc.to_be_bytes());
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Receive the next frame, silently skipping v2 duplicates (sequence
+    /// numbers already seen) and verifying the CRC trailer.
+    pub fn recv<F: DeserializeOwned>(&mut self) -> Result<F, FrameError> {
+        loop {
+            let mut prefix = [0u8; 4];
+            self.stream.read_exact(&mut prefix)?;
+            let len = u32::from_be_bytes(prefix) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(FrameError::TooLarge(len));
+            }
+            if !self.v2 {
+                let body = read_body(&mut self.stream, len)?;
+                return serde_json::from_slice(&body)
+                    .map_err(|e| FrameError::Malformed(e.to_string()));
+            }
+            let mut seq_bytes = [0u8; 8];
+            self.stream.read_exact(&mut seq_bytes)?;
+            let body = read_body(&mut self.stream, len)?;
+            let mut crc_bytes = [0u8; 4];
+            self.stream.read_exact(&mut crc_bytes)?;
+            let mut h = Crc32::new();
+            h.update(&seq_bytes);
+            h.update(&body);
+            let computed = h.finish();
+            let wire = u32::from_be_bytes(crc_bytes);
+            if wire != computed {
+                return Err(FrameError::ChecksumMismatch { wire, computed });
+            }
+            let seq = u64::from_be_bytes(seq_bytes);
+            if seq < self.next_recv_seq {
+                self.dup_skipped += 1;
+                continue;
+            }
+            if seq > self.next_recv_seq {
+                return Err(FrameError::SequenceGap { expected: self.next_recv_seq, got: seq });
+            }
+            self.next_recv_seq += 1;
+            return serde_json::from_slice(&body)
+                .map_err(|e| FrameError::Malformed(e.to_string()));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,6 +340,12 @@ mod tests {
     enum Probe {
         Ping { n: u64 },
         Blob { data: String },
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -95,6 +378,16 @@ mod tests {
     }
 
     #[test]
+    fn lying_length_prefix_costs_a_short_read_not_an_allocation() {
+        // prefix claims 1 MiB but only 3 bytes follow: must surface as
+        // UnexpectedEof without ever allocating the full claimed size
+        let mut buf = (1_048_576u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let err = read_frame::<Probe>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
     fn truncated_body_is_an_eof_error() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Probe::Ping { n: 1 }).unwrap();
@@ -110,5 +403,82 @@ mod tests {
         buf.extend_from_slice(body);
         let err = read_frame::<Probe>(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Run `frames` against a fresh in-memory sender, return the wire bytes.
+    fn pipe(v2: bool, frames: impl FnOnce(&mut Framed<Cursor<Vec<u8>>>)) -> Vec<u8> {
+        let mut tx = Framed::new(Cursor::new(Vec::new()));
+        if v2 {
+            tx.upgrade();
+        }
+        frames(&mut tx);
+        tx.get_ref().get_ref().clone()
+    }
+
+    #[test]
+    fn v2_frames_round_trip_with_sequence_and_crc() {
+        let wire = pipe(true, |tx| {
+            tx.send(&Probe::Ping { n: 1 }).unwrap();
+            tx.send(&Probe::Blob { data: "abc".into() }).unwrap();
+        });
+        let mut rx = Framed::new(Cursor::new(wire));
+        rx.upgrade();
+        assert_eq!(rx.recv::<Probe>().unwrap(), Probe::Ping { n: 1 });
+        assert_eq!(rx.recv::<Probe>().unwrap(), Probe::Blob { data: "abc".into() });
+        assert_eq!(rx.dup_frames_skipped(), 0);
+    }
+
+    #[test]
+    fn v2_receiver_skips_duplicated_frames_by_sequence() {
+        let frame0 = pipe(true, |tx| tx.send(&Probe::Ping { n: 1 }).unwrap());
+        let frame1 = pipe(true, |tx| {
+            tx.next_send_seq = 1;
+            tx.send(&Probe::Ping { n: 2 }).unwrap();
+        });
+        // frame 0 twice on the wire (dup injection), then frame 1
+        let mut wire = frame0.clone();
+        wire.extend_from_slice(&frame0);
+        wire.extend_from_slice(&frame1);
+        let mut rx = Framed::new(Cursor::new(wire));
+        rx.upgrade();
+        assert_eq!(rx.recv::<Probe>().unwrap(), Probe::Ping { n: 1 });
+        assert_eq!(rx.recv::<Probe>().unwrap(), Probe::Ping { n: 2 });
+        assert_eq!(rx.dup_frames_skipped(), 1);
+    }
+
+    #[test]
+    fn v2_detects_a_flipped_body_byte_as_checksum_mismatch() {
+        let mut wire = pipe(true, |tx| {
+            tx.send(&Probe::Blob { data: "payload".into() }).unwrap();
+        });
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x55;
+        let mut rx = Framed::new(Cursor::new(wire));
+        rx.upgrade();
+        let err = rx.recv::<Probe>().unwrap_err();
+        assert!(matches!(err, FrameError::ChecksumMismatch { .. }), "got {err}");
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn v2_detects_a_sequence_gap() {
+        let wire = pipe(true, |tx| {
+            tx.next_send_seq = 3; // frames 0..3 went missing
+            tx.send(&Probe::Ping { n: 9 }).unwrap();
+        });
+        let mut rx = Framed::new(Cursor::new(wire));
+        rx.upgrade();
+        let err = rx.recv::<Probe>().unwrap_err();
+        assert!(matches!(err, FrameError::SequenceGap { expected: 0, got: 3 }), "got {err}");
+    }
+
+    #[test]
+    fn v1_mode_of_framed_matches_the_free_functions_byte_for_byte() {
+        let frame = Probe::Blob { data: "interop".into() };
+        let mut via_free = Vec::new();
+        write_frame(&mut via_free, &frame).unwrap();
+        let via_framed = pipe(false, |tx| tx.send(&frame).unwrap());
+        assert_eq!(via_free, via_framed);
     }
 }

@@ -19,18 +19,28 @@
 //!   used by the fleet serving protocol in `unigpu-fleet`).
 //! * [`fault`] — deterministic, counter-based fault injection
 //!   (`UNIGPU_FARM_FAULTS`) for exercising the re-queue machinery.
+//! * [`netchaos`] — deterministic *wire-level* fault injection
+//!   (`UNIGPU_NET_FAULTS`): dropped connections, flipped bytes, truncated
+//!   and duplicated frames, applied by a [`ChaosStream`] wrapper.
+//! * [`backoff`] — the deterministic bounded reconnect schedule shared by
+//!   the worker and the fleet router's resume path.
 //!
 //! [`DeviceSpec`]: unigpu_device::DeviceSpec
 
+pub mod backoff;
 pub mod client;
 pub mod fault;
 pub mod framing;
+pub mod netchaos;
 pub mod proto;
 pub mod tracker;
 pub mod worker;
 
+pub use backoff::Backoff;
 pub use client::FarmClient;
 pub use fault::{FaultPlan, FaultState, SendFault};
+pub use framing::{crc32, FrameError, Framed, FRAMING_VERSION};
+pub use netchaos::{ChaosStream, NetFaultPlan, NetStats, SharedNetFaults};
 pub use proto::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
 pub use tracker::{Tracker, TrackerConfig, TrackerHandle, LANE_FARM_WORKER_BASE};
 pub use worker::{run_worker, WorkerConfig, WorkerExit};

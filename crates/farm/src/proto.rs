@@ -26,10 +26,32 @@ pub use crate::framing::MAX_FRAME_BYTES;
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Frame {
     /// A worker joins, naming itself and the device it simulates.
-    Register { name: String, device: String },
+    Register {
+        name: String,
+        device: String,
+        /// Highest framing version the worker speaks
+        /// ([`framing::FRAMING_VERSION`]). Absent / `None` means v1-only:
+        /// old peers interoperate untouched.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        framing: Option<u8>,
+        /// A previous `worker_id` to resume after a dropped connection, so
+        /// the tracker re-attaches identity instead of minting a new one.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        resume: Option<u64>,
+    },
     /// Registration reply: the worker's id and the lease duration it must
     /// heartbeat within.
-    RegisterAck { worker_id: u64, lease_ms: u64 },
+    RegisterAck {
+        worker_id: u64,
+        lease_ms: u64,
+        /// Framing version the tracker accepted; both sides upgrade their
+        /// codec right after this frame when it is `Some(2)`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        framing: Option<u8>,
+        /// True when `resume` named a worker the tracker still knows.
+        #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+        resumed: bool,
+    },
     /// A registered worker asks for work.
     RequestJob { worker_id: u64 },
     /// One job leased to one worker, with the batch's budget attached so the
@@ -120,8 +142,13 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         let frames = vec![
-            Frame::Register { name: "w0".into(), device: "Intel HD Graphics 505".into() },
-            Frame::RegisterAck { worker_id: 7, lease_ms: 10_000 },
+            Frame::Register {
+                name: "w0".into(),
+                device: "Intel HD Graphics 505".into(),
+                framing: Some(2),
+                resume: None,
+            },
+            Frame::RegisterAck { worker_id: 7, lease_ms: 10_000, framing: Some(2), resumed: true },
             Frame::RequestJob { worker_id: 7 },
             Frame::NoWork,
             Frame::Heartbeat { worker_id: 7, lease_id: 3 },
@@ -139,6 +166,38 @@ mod tests {
         for f in &frames {
             assert_eq!(&read_frame(&mut cur).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn old_register_frames_without_framing_fields_still_parse() {
+        // an old worker's Register has no "framing"/"resume" keys, and an
+        // old tracker's RegisterAck has no "framing"/"resumed" keys
+        let body = br#"{"type":"register","name":"w0","device":"cpu"}"#;
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        match read_frame(&mut Cursor::new(buf)) {
+            Ok(Frame::Register { framing, resume, name, .. }) => {
+                assert_eq!(framing, None);
+                assert_eq!(resume, None);
+                assert_eq!(name, "w0");
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
+        let body = br#"{"type":"register_ack","worker_id":3,"lease_ms":1000}"#;
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        match read_frame(&mut Cursor::new(buf)) {
+            Ok(Frame::RegisterAck { framing, resumed, worker_id, .. }) => {
+                assert_eq!(framing, None);
+                assert!(!resumed);
+                assert_eq!(worker_id, 3);
+            }
+            other => panic!("expected RegisterAck, got {other:?}"),
+        }
+        // and the v1-shaped serialization omits the new keys entirely
+        let bare = Frame::RegisterAck { worker_id: 3, lease_ms: 1000, framing: None, resumed: false };
+        let body = serde_json::to_string(&bare).unwrap();
+        assert!(!body.contains("framing") && !body.contains("resumed"), "got {body}");
     }
 
     #[test]

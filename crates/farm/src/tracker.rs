@@ -21,7 +21,8 @@
 //! the original) are acknowledged and dropped: the first outcome per job
 //! index wins, which keeps the protocol idempotent.
 
-use crate::proto::{read_frame, write_frame, Frame};
+use crate::framing::{FrameError, Framed, FRAMING_VERSION};
+use crate::proto::Frame;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -268,26 +269,35 @@ fn write_trace(shared: &Shared, path: &Path) -> io::Result<()> {
 /// clients share this loop — frame types distinguish them. Any read error
 /// ends the connection; if a worker had registered on it, its outstanding
 /// leases are released.
-fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
     let mut conn_worker: Option<u64> = None;
+    let mut framed = Framed::new(stream);
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match framed.recv::<Frame>() {
             Ok(f) => f,
+            Err(FrameError::Io(e)) if e.kind() != io::ErrorKind::InvalidData => {
+                tel_debug!("farm::tracker", "connection from {peer} closed: {e}");
+                break;
+            }
             Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    shared.metrics.inc("farm.protocol_errors");
-                    tel_warn!("farm::tracker", "protocol error from {peer}: {e}");
-                    let _ = write_frame(&mut stream, &Frame::Error { message: e.to_string() });
-                } else {
-                    tel_debug!("farm::tracker", "connection from {peer} closed: {e}");
+                if matches!(e, FrameError::ChecksumMismatch { .. }) {
+                    shared.metrics.inc("farm.checksum_errors");
                 }
+                shared.metrics.inc("farm.protocol_errors");
+                tel_warn!("farm::tracker", "protocol error from {peer}: {e}");
+                let _ = framed.send(&Frame::Error { message: e.to_string() });
                 break;
             }
         };
         let reply = shared.handle_frame(frame, &mut conn_worker);
-        if write_frame(&mut stream, &reply).is_err() {
+        let upgrade = matches!(reply, Frame::RegisterAck { framing: Some(v), .. } if v >= 2);
+        if framed.send(&reply).is_err() {
             break;
+        }
+        if upgrade && !framed.is_v2() {
+            // Both peers switch codecs right after the ack exchange.
+            framed.upgrade();
         }
     }
     if let Some(worker_id) = conn_worker {
@@ -298,7 +308,9 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
 impl Shared {
     fn handle_frame(&self, frame: Frame, conn_worker: &mut Option<u64>) -> Frame {
         match frame {
-            Frame::Register { name, device } => self.on_register(name, device, conn_worker),
+            Frame::Register { name, device, framing, resume } => {
+                self.on_register(name, device, framing, resume, conn_worker)
+            }
             Frame::RequestJob { worker_id } => self.on_request_job(worker_id),
             Frame::Heartbeat { worker_id, lease_id } => self.on_heartbeat(worker_id, lease_id),
             Frame::Result { worker_id, lease_id, batch_id, outcome, drift } => {
@@ -315,18 +327,48 @@ impl Shared {
         }
     }
 
-    fn on_register(&self, name: String, device: String, conn_worker: &mut Option<u64>) -> Frame {
+    fn on_register(
+        &self,
+        name: String,
+        device: String,
+        framing: Option<u8>,
+        resume: Option<u64>,
+        conn_worker: &mut Option<u64>,
+    ) -> Frame {
         let mut st = self.state.lock().expect("tracker state poisoned");
-        let worker_id = st.next_worker;
-        st.next_worker += 1;
+        // Resume only re-attaches an identity the tracker still remembers;
+        // an unknown token degrades to a fresh registration.
+        let resumed_id = resume.filter(|id| st.workers.contains_key(id));
+        let resumed = resumed_id.is_some();
+        let worker_id = match resumed_id {
+            Some(id) => id,
+            None => {
+                let id = st.next_worker;
+                st.next_worker += 1;
+                id
+            }
+        };
         let lane = LANE_FARM_WORKER_BASE + worker_id as u32;
         st.workers.insert(worker_id, WorkerInfo { name: name.clone(), device: device.clone(), lane });
         st.connected += 1;
-        self.metrics.inc("farm.workers_registered");
+        if resumed {
+            self.metrics.inc("farm.worker_resumes");
+        } else {
+            self.metrics.inc("farm.workers_registered");
+        }
         self.metrics.set_gauge("farm.workers_connected", st.connected as f64);
         *conn_worker = Some(worker_id);
-        tel_info!("farm::tracker", "worker {worker_id} ({name}) registered for {device}");
-        Frame::RegisterAck { worker_id, lease_ms: self.cfg.lease.as_millis() as u64 }
+        tel_info!(
+            "farm::tracker",
+            "worker {worker_id} ({name}) {} for {device}",
+            if resumed { "resumed" } else { "registered" }
+        );
+        Frame::RegisterAck {
+            worker_id,
+            lease_ms: self.cfg.lease.as_millis() as u64,
+            framing: framing.filter(|&v| v >= FRAMING_VERSION).map(|_| FRAMING_VERSION),
+            resumed,
+        }
     }
 
     fn on_request_job(&self, worker_id: u64) -> Frame {

@@ -6,13 +6,22 @@
 //! heartbeat thread keeps the lease alive; heartbeat failures are tolerated
 //! because the tracker's re-queue path covers a lapsed lease anyway.
 //!
-//! Transport failures trigger a bounded reconnect (a fresh registration —
-//! the tracker releases the old connection's leases on disconnect). Fault
-//! injection ([`FaultState`]) lives worker-side and survives reconnects, so
-//! a `kill_after_leases` budget cannot be reset by a dropped frame.
+//! Transport failures trigger a bounded reconnect on the shared
+//! deterministic [`Backoff`] schedule. A reconnect *resumes*: the worker
+//! offers its previous id in `Register { resume }`, re-attaches if the
+//! tracker still knows it, and replays an unacked `Result` frame so a
+//! connection dropped mid-ack cannot lose finished work (the tracker's
+//! duplicate-result dedup absorbs the replay if the ack merely got lost).
+//! Fault injection ([`FaultState`] for device faults, [`SharedNetFaults`]
+//! for wire faults) lives worker-side and survives reconnects, so neither
+//! a `kill_after_leases` budget nor a `drop_conn_nth` counter can be reset
+//! by a dropped frame.
 
+use crate::backoff::Backoff;
 use crate::fault::{FaultPlan, FaultState, SendFault};
-use crate::proto::{read_frame, write_frame, Frame};
+use crate::framing::{Framed, FRAMING_VERSION};
+use crate::netchaos::{ChaosStream, NetFaultPlan, SharedNetFaults};
+use crate::proto::Frame;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,10 +44,13 @@ pub struct WorkerConfig {
     /// Exit cleanly after this many consecutive empty polls (`None` = serve
     /// forever; tests and the CI smoke test set a bound).
     pub max_idle_polls: Option<usize>,
-    /// Reconnect attempts after a transport failure before giving up.
+    /// Reconnect attempts after transport failures before giving up (a
+    /// lifetime budget, spent on the deterministic [`Backoff`] schedule).
     pub reconnects: usize,
     /// Deterministic fault injection (`UNIGPU_FARM_FAULTS`).
     pub faults: FaultPlan,
+    /// Deterministic wire-fault injection (`UNIGPU_NET_FAULTS`).
+    pub net_faults: NetFaultPlan,
 }
 
 impl Default for WorkerConfig {
@@ -49,6 +61,7 @@ impl Default for WorkerConfig {
             max_idle_polls: None,
             reconnects: 5,
             faults: FaultPlan::default(),
+            net_faults: NetFaultPlan::default(),
         }
     }
 }
@@ -63,7 +76,7 @@ pub enum WorkerExit {
 }
 
 struct Conn {
-    stream: TcpStream,
+    framed: Framed<ChaosStream<TcpStream>>,
     faults: FaultState,
 }
 
@@ -79,11 +92,11 @@ impl Conn {
             }
             SendFault::Delay(ms) => {
                 std::thread::sleep(Duration::from_millis(ms));
-                write_frame(&mut self.stream, frame)?;
+                self.framed.send(frame).map_err(io::Error::from)?;
             }
-            SendFault::None => write_frame(&mut self.stream, frame)?,
+            SendFault::None => self.framed.send(frame).map_err(io::Error::from)?,
         }
-        read_frame(&mut self.stream)
+        self.framed.recv().map_err(io::Error::from)
     }
 }
 
@@ -91,16 +104,27 @@ fn lock(conn: &Mutex<Conn>) -> MutexGuard<'_, Conn> {
     conn.lock().expect("worker connection poisoned")
 }
 
+/// Cross-session worker state: identity to resume, and a finished result
+/// whose ack never arrived, to replay on the next connection.
+#[derive(Default)]
+struct SessionState {
+    resume: Option<u64>,
+    pending: Option<Frame>,
+}
+
 /// Serve `tracker` with one simulated device until told to die (fault
 /// injection), idled out (`max_idle_polls`), or out of reconnect attempts.
 pub fn run_worker(tracker: &str, spec: DeviceSpec, cfg: WorkerConfig) -> io::Result<WorkerExit> {
     let mut faults = FaultState::new(cfg.faults);
-    let mut attempts_left = cfg.reconnects;
+    let net = SharedNetFaults::new(cfg.net_faults);
+    let poll_ms = (cfg.poll.as_millis() as u64).max(1);
+    let mut backoff = Backoff::new(poll_ms, poll_ms * 8, cfg.reconnects as u32);
+    let mut state = SessionState::default();
     loop {
-        match run_session(tracker, &spec, &cfg, &mut faults) {
+        match run_session(tracker, &spec, &cfg, &mut faults, &net, &mut state) {
             Ok(exit) => return Ok(exit),
-            Err(e) => {
-                if attempts_left == 0 {
+            Err(e) => match backoff.next_delay_ms() {
+                None => {
                     tel_warn!(
                         "farm::worker",
                         "{}: giving up after {} reconnect attempt(s): {e}",
@@ -109,33 +133,56 @@ pub fn run_worker(tracker: &str, spec: DeviceSpec, cfg: WorkerConfig) -> io::Res
                     );
                     return Err(e);
                 }
-                attempts_left -= 1;
-                tel_info!(
-                    "farm::worker",
-                    "{}: transport error ({e}); reconnecting to {tracker} ({attempts_left} attempt(s) left)",
-                    cfg.name
-                );
-                std::thread::sleep(cfg.poll);
-            }
+                Some(delay_ms) => {
+                    tel_info!(
+                        "farm::worker",
+                        "{}: transport error ({e}); reconnecting to {tracker} in {delay_ms}ms ({} attempt(s) left)",
+                        cfg.name,
+                        backoff.attempts() - backoff.used()
+                    );
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+            },
         }
     }
 }
 
-/// One connection's lifetime: register, serve, and on any error copy the
+/// One connection's lifetime: register (resuming a previous identity when
+/// possible), replay any unacked result, serve, and on any error copy the
 /// fault counters back out so the next session continues where it left off.
 fn run_session(
     tracker: &str,
     spec: &DeviceSpec,
     cfg: &WorkerConfig,
     faults: &mut FaultState,
+    net: &SharedNetFaults,
+    state: &mut SessionState,
 ) -> io::Result<WorkerExit> {
     let stream = TcpStream::connect(tracker)?;
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut conn0 = Conn { stream, faults: *faults };
-    let register = Frame::Register { name: cfg.name.clone(), device: spec.name.clone() };
+    let mut conn0 =
+        Conn { framed: Framed::new(ChaosStream::new(stream, net.clone())), faults: *faults };
+    let register = Frame::Register {
+        name: cfg.name.clone(),
+        device: spec.name.clone(),
+        framing: Some(FRAMING_VERSION),
+        resume: state.resume,
+    };
     let (worker_id, lease_ms) = match conn0.rpc(&register) {
-        Ok(Frame::RegisterAck { worker_id, lease_ms }) => (worker_id, lease_ms),
+        Ok(Frame::RegisterAck { worker_id, lease_ms, framing, resumed }) => {
+            if framing == Some(FRAMING_VERSION) {
+                conn0.framed.upgrade();
+            }
+            if resumed {
+                tel_info!(
+                    "farm::worker",
+                    "{}: resumed as worker {worker_id} after reconnect",
+                    cfg.name
+                );
+            }
+            (worker_id, lease_ms)
+        }
         Ok(other) => {
             *faults = conn0.faults;
             return Err(protocol_error(&other));
@@ -145,16 +192,41 @@ fn run_session(
             return Err(e);
         }
     };
+    state.resume = Some(worker_id);
     tel_info!(
         "farm::worker",
-        "{}: registered as worker {worker_id} for {} at {tracker}",
+        "{}: registered as worker {worker_id} for {} at {tracker} (framing v{})",
         cfg.name,
-        spec.name
+        spec.name,
+        if conn0.framed.is_v2() { 2 } else { 1 }
     );
     let conn = Mutex::new(conn0);
-    let result = session_loop(&conn, worker_id, lease_ms, spec, cfg);
+    let result = replay_pending(&conn, cfg, state)
+        .and_then(|()| session_loop(&conn, worker_id, lease_ms, spec, cfg, &mut state.pending));
     *faults = conn.into_inner().expect("worker connection poisoned").faults;
     result
+}
+
+/// Re-send a result whose ack was lost to a dropped connection. The
+/// tracker's outcome dedup makes this idempotent: if the original frame
+/// did land, the replay is acked `duplicate: true` and costs nothing.
+fn replay_pending(conn: &Mutex<Conn>, cfg: &WorkerConfig, state: &mut SessionState) -> io::Result<()> {
+    let Some(frame) = state.pending.clone() else { return Ok(()) };
+    tel_info!("farm::worker", "{}: replaying unacked result after reconnect", cfg.name);
+    match lock(conn).rpc(&frame)? {
+        Frame::ResultAck { duplicate } => {
+            if duplicate {
+                tel_debug!(
+                    "farm::worker",
+                    "{}: replayed result was already recorded",
+                    cfg.name
+                );
+            }
+            state.pending = None;
+            Ok(())
+        }
+        other => Err(protocol_error(&other)),
+    }
 }
 
 fn session_loop(
@@ -163,6 +235,7 @@ fn session_loop(
     lease_ms: u64,
     spec: &DeviceSpec,
     cfg: &WorkerConfig,
+    pending: &mut Option<Frame>,
 ) -> io::Result<WorkerExit> {
     let mut idle = 0usize;
     loop {
@@ -194,8 +267,8 @@ fn session_loop(
                     outcome: Box::new(outcome),
                     drift: Some(drift),
                 };
-                match lock(conn).rpc(&result)? {
-                    Frame::ResultAck { duplicate } => {
+                match lock(conn).rpc(&result) {
+                    Ok(Frame::ResultAck { duplicate }) => {
                         if duplicate {
                             tel_debug!(
                                 "farm::worker",
@@ -204,7 +277,13 @@ fn session_loop(
                             );
                         }
                     }
-                    other => return Err(protocol_error(&other)),
+                    Ok(other) => return Err(protocol_error(&other)),
+                    Err(e) => {
+                        // The tuned outcome is real work: stash the frame so
+                        // the next session replays it instead of losing it.
+                        *pending = Some(result);
+                        return Err(e);
+                    }
                 }
             }
             Frame::NoWork => {

@@ -47,6 +47,7 @@ fn spawn_worker(
         max_idle_polls: Some(2000),
         reconnects: 0,
         faults,
+        net_faults: Default::default(),
     };
     std::thread::spawn(move || run_worker(&addr, spec(), cfg))
 }
@@ -149,7 +150,12 @@ fn malformed_frames_do_not_kill_the_tracker() {
     let mut probe = TcpStream::connect(addr).unwrap();
     write_frame(
         &mut probe,
-        &Frame::Register { name: "probe".into(), device: spec().name.clone() },
+        &Frame::Register {
+            name: "probe".into(),
+            device: spec().name.clone(),
+            framing: None,
+            resume: None,
+        },
     )
     .unwrap();
     match read_frame(&mut probe).unwrap() {
@@ -262,7 +268,12 @@ fn duplicate_result_frames_are_idempotent() {
     let mut worker = TcpStream::connect(addr).unwrap();
     write_frame(
         &mut worker,
-        &Frame::Register { name: "raw".into(), device: spec().name.clone() },
+        &Frame::Register {
+            name: "raw".into(),
+            device: spec().name.clone(),
+            framing: None,
+            resume: None,
+        },
     )
     .unwrap();
     let worker_id = match read_frame(&mut worker).unwrap() {

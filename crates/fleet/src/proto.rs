@@ -96,10 +96,33 @@ pub struct ReplicaReport {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum FleetFrame {
-    /// The router introduces itself and asks who is listening.
-    Hello,
+    /// The router introduces itself and asks who is listening. The new
+    /// fields ride in an old-shape frame: with both unset, the JSON is
+    /// byte-identical to the historical unit variant (`{"type":"hello"}`),
+    /// and old replicas ignore unknown keys when they are present.
+    Hello {
+        /// Highest framing version the router speaks
+        /// ([`framing::FRAMING_VERSION`]). Absent means v1-only.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        framing: Option<u8>,
+        /// Session token from a previous connection to resume: the replica
+        /// keeps serving the same session (dedup window, cached report)
+        /// instead of treating the reconnect as a new router.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        session: Option<String>,
+    },
     /// Handshake reply: the replica's name and simulated device.
-    HelloAck { name: String, device: String },
+    HelloAck {
+        name: String,
+        device: String,
+        /// Framing version the replica accepted; both sides upgrade their
+        /// codec right after this frame when it is `Some(2)`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        framing: Option<u8>,
+        /// True when `session` named a session this replica still holds.
+        #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+        resumed: bool,
+    },
     /// Compile (or cache-load) a zoo model and stand up the serve loop.
     Load { model: String },
     /// Load reply. `warm` is [`CompiledModel::from_cache`]; `predicted_ms`
@@ -130,8 +153,14 @@ pub enum FleetFrame {
     /// variant.
     Report(Box<ReplicaReport>),
     /// Protocol-level failure; the sender closes the connection after
-    /// this.
-    Error { message: String },
+    /// this. `fatal` distinguishes unrecoverable conditions (an injected
+    /// death, protocol insanity) from transient ones (a checksum mismatch)
+    /// the router should answer with reconnect-and-resume.
+    Error {
+        message: String,
+        #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+        fatal: bool,
+    },
 }
 
 /// Serialize `frame` as one length-prefixed JSON message.
@@ -155,10 +184,12 @@ mod tests {
     #[test]
     fn fleet_frames_round_trip() {
         let frames = vec![
-            FleetFrame::Hello,
+            FleetFrame::Hello { framing: Some(2), session: Some("router-0".into()) },
             FleetFrame::HelloAck {
                 name: "r0".into(),
                 device: "Intel HD Graphics 505".into(),
+                framing: Some(2),
+                resumed: true,
             },
             FleetFrame::Load { model: "ResNet-18".into() },
             FleetFrame::LoadAck { warm: true, predicted_ms: 3.25 },
@@ -195,7 +226,7 @@ mod tests {
                 warm_start: false,
                 dead: true,
             })),
-            FleetFrame::Error { message: "nope".into() },
+            FleetFrame::Error { message: "nope".into(), fatal: true },
         ];
         let mut buf = Vec::new();
         for f in &frames {
@@ -221,9 +252,84 @@ mod tests {
     }
 
     #[test]
+    fn bare_hello_serializes_exactly_like_the_old_unit_variant() {
+        // A v1-only router's Hello and this build's field-less Hello must
+        // be the same bytes, or old digest-pinned handshakes would change.
+        let bare = FleetFrame::Hello { framing: None, session: None };
+        assert_eq!(serde_json::to_string(&bare).unwrap(), r#"{"type":"hello"}"#);
+        let ack = FleetFrame::HelloAck {
+            name: "r0".into(),
+            device: "cpu".into(),
+            framing: None,
+            resumed: false,
+        };
+        let body = serde_json::to_string(&ack).unwrap();
+        assert!(!body.contains("framing") && !body.contains("resumed"), "got {body}");
+        let err = FleetFrame::Error { message: "m".into(), fatal: false };
+        assert!(!serde_json::to_string(&err).unwrap().contains("fatal"));
+    }
+
+    #[test]
+    fn old_peer_frames_without_the_new_keys_still_parse() {
+        for (raw, check) in [
+            (
+                r#"{"type":"hello"}"#,
+                FleetFrame::Hello { framing: None, session: None },
+            ),
+            (
+                r#"{"type":"hello_ack","name":"r1","device":"gpu"}"#,
+                FleetFrame::HelloAck {
+                    name: "r1".into(),
+                    device: "gpu".into(),
+                    framing: None,
+                    resumed: false,
+                },
+            ),
+            (
+                r#"{"type":"error","message":"boom"}"#,
+                FleetFrame::Error { message: "boom".into(), fatal: false },
+            ),
+        ] {
+            let body = raw.as_bytes();
+            let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(body);
+            assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), check, "for {raw}");
+        }
+    }
+
+    #[test]
+    fn new_hello_parses_in_an_old_peer_frame_shape() {
+        // The historical FleetFrame declared Hello as a unit variant.
+        // serde's internally-tagged unit variants ignore extra keys, so an
+        // old replica must still parse a v2 router's Hello.
+        #[derive(Debug, PartialEq, serde::Deserialize)]
+        #[serde(tag = "type", rename_all = "snake_case")]
+        enum OldFrame {
+            Hello,
+            Error { message: String },
+        }
+        let new_hello = serde_json::to_string(&FleetFrame::Hello {
+            framing: Some(2),
+            session: Some("router-0".into()),
+        })
+        .unwrap();
+        assert_eq!(serde_json::from_str::<OldFrame>(&new_hello).unwrap(), OldFrame::Hello);
+        // and an old struct variant ignores the new fatal flag
+        let new_err = serde_json::to_string(&FleetFrame::Error {
+            message: "boom".into(),
+            fatal: true,
+        })
+        .unwrap();
+        assert_eq!(
+            serde_json::from_str::<OldFrame>(&new_err).unwrap(),
+            OldFrame::Error { message: "boom".into() }
+        );
+    }
+
+    #[test]
     fn truncated_and_malformed_frames_keep_the_shared_error_taxonomy() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &FleetFrame::Hello).unwrap();
+        write_frame(&mut buf, &FleetFrame::Hello { framing: None, session: None }).unwrap();
         buf.truncate(buf.len() - 1);
         let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);

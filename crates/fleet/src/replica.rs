@@ -11,19 +11,29 @@
 //! never talk to each other, which is what makes a replica kill a local
 //! event the router can reason about.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::path::PathBuf;
 
 use unigpu_device::{Platform, Vendor};
 use unigpu_engine::{
     Admission, CompiledModel, Engine, InferenceRequest, ServeConfig, ServeReport, Server,
 };
+use unigpu_farm::framing::{FrameError, Framed, FRAMING_VERSION};
+use unigpu_farm::netchaos::{ChaosStream, NetFaultPlan, NetStats, SharedNetFaults};
 use unigpu_models::full_zoo;
 use unigpu_tensor::Shape;
+use unigpu_telemetry::{tel_info, tel_warn};
 
-use crate::proto::{read_frame, write_frame, FleetFrame, ReplicaHealth, ReplicaReport};
+use crate::proto::{FleetFrame, ReplicaHealth, ReplicaReport};
 use crate::replication;
+
+/// How many `Infer` acks a replica remembers for duplicate suppression.
+/// Far deeper than any reconnect can replay (the router replays at most
+/// the frames of one in-flight exchange), bounded so a long-lived replica
+/// cannot grow without limit.
+const DEDUP_WINDOW: usize = 1024;
 
 /// Router-side handle to one replica, local or remote. The router owns a
 /// boxed set of these and never cares which transport backs them.
@@ -48,6 +58,11 @@ pub trait ReplicaLink {
     fn orphans(&mut self) -> (Option<Vec<(usize, f64)>>, Option<ReplicaReport>);
     /// Drain, shut down, and collect the final report.
     fn finish(&mut self) -> io::Result<ReplicaReport>;
+    /// Transport-level counters for this link. In-process replicas have
+    /// no wire, so the default is all zeros.
+    fn net_stats(&self) -> NetStats {
+        NetStats::default()
+    }
 }
 
 /// Fold a finished [`ServeReport`] into the wire-sized summary.
@@ -217,14 +232,52 @@ pub struct ReplicaConfig {
     /// The CI fleet gate uses this so the mid-traffic kill lands on the
     /// same request every run.
     pub die_on_submit: Option<usize>,
+    /// Deterministic wire-fault injection (`UNIGPU_NET_FAULTS`) on this
+    /// replica's side of every router connection.
+    pub net_faults: NetFaultPlan,
+    /// How many reconnects (session resumes) the replica accepts after
+    /// its first connection before giving up on the router.
+    pub max_resumes: usize,
 }
 
-/// Serve one router connection on `listener`, then return. The replica
-/// protocol is single-tenant by design: one router drives one replica,
-/// and the process exits when the router says `Finish` (or hangs up).
+/// Serve one router *session* on `listener`, then return. The replica
+/// protocol is single-tenant by design: one router drives one replica —
+/// but a session may span several TCP connections: when a connection
+/// drops mid-work the replica keeps its state (loaded model, dedup
+/// window, cached final report) and waits for the router to re-dial with
+/// its session token, up to `max_resumes` times. The process exits when
+/// the final report is delivered (or the router hangs up with nothing
+/// outstanding).
 pub fn run_replica(listener: &TcpListener, cfg: &ReplicaConfig) -> io::Result<()> {
-    let (mut stream, _peer) = listener.accept()?;
-    serve_conn(&mut stream, cfg)
+    let net = SharedNetFaults::new(cfg.net_faults);
+    let mut session = ReplicaSession::default();
+    let mut conns = 0usize;
+    loop {
+        let (stream, _peer) = listener.accept()?;
+        let _ = stream.set_nodelay(true);
+        conns += 1;
+        let mut framed = Framed::new(ChaosStream::new(stream, net.clone()));
+        match serve_session(&mut framed, cfg, &mut session)? {
+            SessionEnd::Exit => return Ok(()),
+            SessionEnd::Dropped => {
+                // resumes used so far = conns - 1; the next accept spends
+                // one more, so stop when the budget is already gone
+                if conns > cfg.max_resumes {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        format!("resume budget exhausted after {conns} connection(s)"),
+                    ));
+                }
+                tel_info!(
+                    "fleet::replica",
+                    "{}: connection dropped mid-session; awaiting resume ({} of {} used)",
+                    cfg.name,
+                    conns - 1,
+                    cfg.max_resumes
+                );
+            }
+        }
+    }
 }
 
 fn load_model(cfg: &ReplicaConfig, model: &str) -> Result<LocalReplica, String> {
@@ -245,97 +298,251 @@ fn load_model(cfg: &ReplicaConfig, model: &str) -> Result<LocalReplica, String> 
     Ok(replica)
 }
 
+/// How one connection of a replica session ended.
+enum SessionEnd {
+    /// The session is complete (final report delivered, or the router
+    /// hung up with nothing outstanding): the replica process is done.
+    Exit,
+    /// The connection died mid-session: keep state and await a resume.
+    Dropped,
+}
+
+/// Replica-side state that outlives one TCP connection: the loaded
+/// server, the session token, the bounded `Infer`-ack dedup window, and
+/// the cached final reply. This is what makes the protocol effectively
+/// exactly-once — a router replaying frames after a reconnect gets the
+/// cached answers instead of double-submitting work.
+#[derive(Default)]
+struct ReplicaSession {
+    replica: Option<LocalReplica>,
+    token: Option<String>,
+    /// Cached `(admitted, health)` per request id, insertion-ordered for
+    /// bounded eviction.
+    acks: HashMap<usize, (bool, ReplicaHealth)>,
+    ack_order: VecDeque<usize>,
+    dedup_hits: u64,
+    /// The `Finish` reply, computed once and re-sent verbatim for every
+    /// duplicate `Finish` (a report lost to the wire is re-deliverable).
+    final_reply: Option<FleetFrame>,
+    /// True once the final reply left this side intact at least once.
+    final_sent: bool,
+}
+
+impl ReplicaSession {
+    fn cache_ack(&mut self, id: usize, admitted: bool, health: ReplicaHealth) {
+        if self.acks.insert(id, (admitted, health)).is_none() {
+            self.ack_order.push_back(id);
+            if self.ack_order.len() > DEDUP_WINDOW {
+                if let Some(old) = self.ack_order.pop_front() {
+                    self.acks.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// The replica side of the fleet protocol: a strict request/response
-/// loop over one stream. Returns `Ok(())` on `Finish` or a clean router
-/// hangup; protocol errors answer [`FleetFrame::Error`] and surface the
+/// loop over one stream. Compatibility wrapper over one session
+/// connection — returns `Ok(())` on `Finish` or any router hangup;
+/// protocol errors answer [`FleetFrame::Error`] and surface the
 /// underlying error to the caller.
 pub fn serve_conn<S: Read + Write>(stream: &mut S, cfg: &ReplicaConfig) -> io::Result<()> {
-    let mut replica: Option<LocalReplica> = None;
+    let mut session = ReplicaSession::default();
+    let mut framed = Framed::new(stream);
+    serve_session(&mut framed, cfg, &mut session).map(|_| ())
+}
+
+/// Serve one connection of a (possibly multi-connection) session.
+fn serve_session<S: Read + Write>(
+    framed: &mut Framed<S>,
+    cfg: &ReplicaConfig,
+    sess: &mut ReplicaSession,
+) -> io::Result<SessionEnd> {
     loop {
-        let frame = match read_frame(stream) {
+        let frame = match framed.recv::<FleetFrame>() {
             Ok(f) => f,
-            // router hung up between frames: a clean exit, not a fault
-            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) if e.kind() == ErrorKind::InvalidData => {
-                let _ = write_frame(
-                    stream,
-                    &FleetFrame::Error { message: e.to_string() },
-                );
-                return Err(e);
+            Err(FrameError::Io(e)) => {
+                // A hangup after the final report (or before any work) is
+                // the clean end of the session; mid-work it is a drop the
+                // router will resume from.
+                let never_started = sess.replica.is_none() && sess.final_reply.is_none();
+                return if sess.final_sent || never_started {
+                    Ok(SessionEnd::Exit)
+                } else {
+                    tel_warn!("fleet::replica", "{}: connection lost mid-work: {e}", cfg.name);
+                    Ok(SessionEnd::Dropped)
+                };
             }
-            Err(e) => return Err(e),
+            Err(
+                e @ (FrameError::ChecksumMismatch { .. }
+                | FrameError::SequenceGap { .. }
+                | FrameError::Malformed(_)),
+            ) => {
+                // Wire damage, not router insanity — a corrupted v1
+                // handshake frame parses as garbage rather than failing
+                // its (nonexistent) checksum: tell the router (best
+                // effort) and let it reconnect-and-resume.
+                tel_warn!("fleet::replica", "{}: {e}; dropping connection for resume", cfg.name);
+                let _ = framed.send(&FleetFrame::Error { message: e.to_string(), fatal: false });
+                return Ok(SessionEnd::Dropped);
+            }
+            Err(e) => {
+                let _ = framed.send(&FleetFrame::Error { message: e.to_string(), fatal: true });
+                return Err(io::Error::from(e));
+            }
         };
         match frame {
-            FleetFrame::Hello => write_frame(
-                stream,
-                &FleetFrame::HelloAck {
+            FleetFrame::Hello { framing, session } => {
+                let resumed = sess.token.is_some() && sess.token == session;
+                if sess.token.is_none() {
+                    sess.token = session;
+                }
+                let accept =
+                    framing.filter(|&v| v >= FRAMING_VERSION).map(|_| FRAMING_VERSION);
+                let ack = FleetFrame::HelloAck {
                     name: cfg.name.clone(),
                     device: cfg.platform.gpu.name.clone(),
-                },
-            )?,
+                    framing: accept,
+                    resumed,
+                };
+                if framed.send(&ack).is_err() {
+                    return Ok(SessionEnd::Dropped);
+                }
+                if accept.is_some() {
+                    // Both peers switch codecs right after the ack.
+                    framed.upgrade();
+                }
+                if resumed {
+                    tel_info!("fleet::replica", "{}: session resumed by router", cfg.name);
+                }
+            }
             FleetFrame::PushArtifact { jsonl } => {
                 let dir = cfg
                     .cache_dir
                     .clone()
                     .unwrap_or_else(unigpu_engine::default_artifact_dir);
                 let stored = replication::store_jsonl_in_dir(&dir, &jsonl);
-                write_frame(stream, &FleetFrame::PushAck { stored })?;
+                if framed.send(&FleetFrame::PushAck { stored }).is_err() {
+                    return Ok(SessionEnd::Dropped);
+                }
             }
-            FleetFrame::Load { model } => match load_model(cfg, &model) {
-                Ok(loaded) => {
-                    let ack = FleetFrame::LoadAck {
-                        warm: loaded.warm_start(),
-                        predicted_ms: loaded.predicted_ms(),
-                    };
-                    replica = Some(loaded);
-                    write_frame(stream, &ack)?;
-                }
-                Err(message) => write_frame(stream, &FleetFrame::Error { message })?,
-            },
-            FleetFrame::FetchArtifact => match &replica {
-                Some(r) => {
-                    let jsonl = replication::artifact_of(r.compiled()).to_jsonl();
-                    write_frame(stream, &FleetFrame::ArtifactBlob { jsonl })?;
-                }
-                None => write_frame(
-                    stream,
-                    &FleetFrame::Error { message: "no model loaded".into() },
-                )?,
-            },
-            FleetFrame::Infer { id, arrival_ms } => match replica.as_mut() {
-                Some(r) => match r.submit(id, arrival_ms) {
-                    Ok((admitted, health)) => {
-                        write_frame(stream, &FleetFrame::InferAck { admitted, health })?
+            FleetFrame::Load { model } => {
+                let reply = if sess.replica.is_some() {
+                    // A duplicate Load after a resume: the model is already
+                    // up; answer from the live server instead of rebuilding.
+                    let r = sess.replica.as_ref().expect("checked above");
+                    FleetFrame::LoadAck { warm: r.warm_start(), predicted_ms: r.predicted_ms() }
+                } else {
+                    match load_model(cfg, &model) {
+                        Ok(loaded) => {
+                            let ack = FleetFrame::LoadAck {
+                                warm: loaded.warm_start(),
+                                predicted_ms: loaded.predicted_ms(),
+                            };
+                            sess.replica = Some(loaded);
+                            ack
+                        }
+                        Err(message) => FleetFrame::Error { message, fatal: true },
                     }
-                    Err(e) => {
-                        write_frame(
-                            stream,
-                            &FleetFrame::Error { message: e.to_string() },
-                        )?;
-                        return Err(e);
-                    }
-                },
-                None => write_frame(
-                    stream,
-                    &FleetFrame::Error { message: "no model loaded".into() },
-                )?,
-            },
-            FleetFrame::Finish => {
-                let reply = match replica.take() {
-                    Some(mut r) => match r.finish() {
-                        Ok(report) => FleetFrame::Report(Box::new(report)),
-                        Err(e) => FleetFrame::Error { message: e.to_string() },
-                    },
-                    None => FleetFrame::Error { message: "no model loaded".into() },
                 };
-                write_frame(stream, &reply)?;
-                return Ok(());
+                if framed.send(&reply).is_err() {
+                    return Ok(SessionEnd::Dropped);
+                }
+            }
+            FleetFrame::FetchArtifact => {
+                let reply = match &sess.replica {
+                    Some(r) => {
+                        let jsonl = replication::artifact_of(r.compiled()).to_jsonl();
+                        FleetFrame::ArtifactBlob { jsonl }
+                    }
+                    None => {
+                        FleetFrame::Error { message: "no model loaded".into(), fatal: true }
+                    }
+                };
+                if framed.send(&reply).is_err() {
+                    return Ok(SessionEnd::Dropped);
+                }
+            }
+            FleetFrame::Infer { id, arrival_ms } => {
+                // Idempotency: a request id seen before is answered from
+                // the dedup window without touching the server, so a
+                // router replay cannot double-submit work.
+                if let Some(&(admitted, health)) = sess.acks.get(&id) {
+                    sess.dedup_hits += 1;
+                    if framed.send(&FleetFrame::InferAck { admitted, health }).is_err() {
+                        return Ok(SessionEnd::Dropped);
+                    }
+                    continue;
+                }
+                match sess.replica.as_mut() {
+                    Some(r) => match r.submit(id, arrival_ms) {
+                        Ok((admitted, health)) => {
+                            sess.cache_ack(id, admitted, health);
+                            if framed.send(&FleetFrame::InferAck { admitted, health }).is_err()
+                            {
+                                return Ok(SessionEnd::Dropped);
+                            }
+                        }
+                        Err(e) => {
+                            // Injected death or a wedged server: fatal by
+                            // definition — the router must not resume.
+                            let _ = framed.send(&FleetFrame::Error {
+                                message: e.to_string(),
+                                fatal: true,
+                            });
+                            return Err(e);
+                        }
+                    },
+                    None => {
+                        let reply =
+                            FleetFrame::Error { message: "no model loaded".into(), fatal: true };
+                        if framed.send(&reply).is_err() {
+                            return Ok(SessionEnd::Dropped);
+                        }
+                    }
+                }
+            }
+            FleetFrame::Finish => {
+                if sess.final_reply.is_none() {
+                    let reply = match sess.replica.take() {
+                        Some(mut r) => match r.finish() {
+                            Ok(report) => FleetFrame::Report(Box::new(report)),
+                            Err(e) => {
+                                FleetFrame::Error { message: e.to_string(), fatal: true }
+                            }
+                        },
+                        None => {
+                            FleetFrame::Error { message: "no model loaded".into(), fatal: true }
+                        }
+                    };
+                    sess.final_reply = Some(reply);
+                }
+                if sess.dedup_hits > 0 {
+                    tel_info!(
+                        "fleet::replica",
+                        "{}: suppressed {} duplicate infer(s) this session",
+                        cfg.name,
+                        sess.dedup_hits
+                    );
+                }
+                let reply = sess.final_reply.clone().expect("just cached");
+                match framed.send(&reply) {
+                    Ok(()) => {
+                        // Delivered from this side; the router closing the
+                        // connection is now a clean exit. A corrupted
+                        // report instead comes back as a resumed Finish,
+                        // answered from the cache above.
+                        sess.final_sent = true;
+                    }
+                    Err(_) => return Ok(SessionEnd::Dropped),
+                }
             }
             // a replica only ever *answers*; receiving a reply frame means
             // the peer is confused — say so and hang up
             other => {
                 let message = format!("unexpected frame from router: {other:?}");
-                let _ = write_frame(stream, &FleetFrame::Error { message: message.clone() });
+                let _ =
+                    framed.send(&FleetFrame::Error { message: message.clone(), fatal: true });
                 return Err(io::Error::new(ErrorKind::InvalidData, message));
             }
         }
@@ -345,6 +552,7 @@ pub fn serve_conn<S: Read + Write>(stream: &mut S, cfg: &ReplicaConfig) -> io::R
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{read_frame, write_frame};
     use std::time::Duration;
 
     fn compiled_deeplens() -> CompiledModel {
@@ -436,10 +644,13 @@ mod tests {
             serve: serve_cfg(),
             cache_dir: Some(cache_dir.clone()),
             die_on_submit: None,
+            net_faults: NetFaultPlan::default(),
+            max_resumes: 0,
         };
-        // script the router side of the conversation into a buffer
+        // script the router side of the conversation into a buffer — a v1
+        // router: no framing negotiation, no session token
         let mut inbox = Vec::new();
-        write_frame(&mut inbox, &FleetFrame::Hello).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Hello { framing: None, session: None }).unwrap();
         write_frame(&mut inbox, &FleetFrame::Load { model: "MobileNet1.0".into() }).unwrap();
         write_frame(&mut inbox, &FleetFrame::Infer { id: 0, arrival_ms: 0.0 }).unwrap();
         write_frame(&mut inbox, &FleetFrame::Infer { id: 1, arrival_ms: 1.0 }).unwrap();
@@ -468,9 +679,11 @@ mod tests {
 
         let mut replies = Cursor::new(wire.tx);
         match read_frame(&mut replies).unwrap() {
-            FleetFrame::HelloAck { name, device } => {
+            FleetFrame::HelloAck { name, device, framing, resumed } => {
                 assert_eq!(name, "r0");
                 assert_eq!(device, "Intel HD Graphics 505");
+                assert_eq!(framing, None, "a v1 hello must not negotiate v2");
+                assert!(!resumed);
             }
             other => panic!("expected HelloAck, got {other:?}"),
         }
@@ -488,6 +701,77 @@ mod tests {
             FleetFrame::Report(report) => {
                 assert_eq!(report.offered, 2);
                 assert_eq!(report.completed.len(), 2);
+            }
+            other => panic!("expected Report, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn duplicate_infer_ids_are_answered_from_the_dedup_window() {
+        use std::io::Cursor;
+
+        let cache_dir = std::env::temp_dir().join(format!(
+            "unigpu-fleet-dedup-window-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cfg = ReplicaConfig {
+            name: "r0".into(),
+            platform: Platform::deeplens(),
+            serve: serve_cfg(),
+            cache_dir: Some(cache_dir.clone()),
+            die_on_submit: None,
+            net_faults: NetFaultPlan::default(),
+            max_resumes: 0,
+        };
+        // id 0 is offered three times (a router replay after lost acks);
+        // the replica must submit it once and answer the rest from cache
+        let mut inbox = Vec::new();
+        write_frame(&mut inbox, &FleetFrame::Hello { framing: None, session: None }).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Load { model: "MobileNet1.0".into() }).unwrap();
+        for _ in 0..3 {
+            write_frame(&mut inbox, &FleetFrame::Infer { id: 0, arrival_ms: 0.0 }).unwrap();
+        }
+        write_frame(&mut inbox, &FleetFrame::Infer { id: 1, arrival_ms: 1.0 }).unwrap();
+        write_frame(&mut inbox, &FleetFrame::Finish).unwrap();
+
+        struct Duplex {
+            rx: Cursor<Vec<u8>>,
+            tx: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.rx.read(buf)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.tx.write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wire = Duplex { rx: Cursor::new(inbox), tx: Vec::new() };
+        serve_conn(&mut wire, &cfg).unwrap();
+
+        let mut replies = Cursor::new(wire.tx);
+        let _hello = read_frame(&mut replies).unwrap();
+        let _load = read_frame(&mut replies).unwrap();
+        for _ in 0..4 {
+            match read_frame(&mut replies).unwrap() {
+                FleetFrame::InferAck { admitted, .. } => assert!(admitted),
+                other => panic!("expected InferAck, got {other:?}"),
+            }
+        }
+        match read_frame(&mut replies).unwrap() {
+            FleetFrame::Report(report) => {
+                assert_eq!(report.offered, 2, "duplicates must not reach the server");
+                assert_eq!(report.completed.len(), 2);
+                let ids: Vec<usize> = report.completed.iter().map(|&(id, _)| id).collect();
+                assert_eq!(ids, vec![0, 1], "each id completes exactly once");
             }
             other => panic!("expected Report, got {other:?}"),
         }

@@ -18,6 +18,14 @@
 //! whatever it cannot hand back (a remote crash) is re-routed wholesale
 //! from the router's own assignment ledger — at-least-once, never lost.
 //!
+//! The wire is a failure domain too: [`RemoteReplica`] runs every
+//! request/response through a reconnect-with-resume loop (session token
+//! in `Hello`, deterministic backoff, frame replay), and the replica's
+//! dedup window makes replays idempotent — at-least-once retransmission
+//! composing into exactly-once effects. Transport counters fold into
+//! [`FleetReport::net`] and the `net.*` metrics;
+//! [`FleetReport::duplicate_completions`] is the exactly-once check.
+//!
 //! Everything is counter-based and clock-free, so a zero-noise fleet run
 //! is bit-for-bit reproducible: [`FleetReport::digest`] is the replay
 //! check.
@@ -25,9 +33,12 @@
 use std::io::{self, ErrorKind};
 use std::net::TcpStream;
 
+use unigpu_farm::backoff::Backoff;
+use unigpu_farm::framing::{FrameError, Framed, FRAMING_VERSION};
+use unigpu_farm::netchaos::{ChaosStream, NetFaultPlan, NetStats, SharedNetFaults};
 use unigpu_telemetry::{MetricsRegistry, SpanRecord, SpanRecorder};
 
-use crate::proto::{read_frame, write_frame, FleetFrame, ReplicaHealth, ReplicaReport};
+use crate::proto::{FleetFrame, ReplicaHealth, ReplicaReport};
 use crate::replica::ReplicaLink;
 use crate::{LANE_FLEET_CONTROL, LANE_FLEET_REPLICA_BASE};
 
@@ -108,6 +119,11 @@ pub struct FleetReport {
     pub replicas: Vec<ReplicaReport>,
     /// The full decision log, in offer order.
     pub decisions: Vec<RouteDecision>,
+    /// Transport counters merged across every replica link. Deliberately
+    /// *not* folded into [`FleetReport::digest`]: the digest certifies
+    /// outcomes, and a fault plan must be able to shake the wire without
+    /// changing what the fleet computed.
+    pub net: NetStats,
 }
 
 impl FleetReport {
@@ -116,6 +132,16 @@ impl FleetReport {
         self.offered.saturating_sub(
             self.completed.len() + self.shed.len() + self.expired.len() + self.failed.len(),
         )
+    }
+
+    /// Completed ids that appear more than once — the exactly-once
+    /// check. Must be zero under any composition of fault plans: the
+    /// dedup window turns every replayed request into a cached ack, so
+    /// a duplicate completion means a replica did work twice.
+    pub fn duplicate_completions(&self) -> usize {
+        let mut ids: Vec<usize> = self.completed.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.windows(2).filter(|w| w[0] == w[1]).count()
     }
 
     /// p99 end-to-end latency over completed requests, ms.
@@ -498,6 +524,24 @@ impl Router {
         self.metrics.add("fleet.expired", expired.len() as u64);
         self.metrics.add("fleet.failed", failed.len() as u64);
 
+        let mut net = NetStats::default();
+        for slot in &self.slots {
+            net.merge(&slot.link.net_stats());
+        }
+        if net.any() {
+            self.metrics.add("net.reconnects", net.reconnects);
+            self.metrics.add("net.resumes", net.resumes);
+            self.metrics.add("net.replayed_frames", net.replayed_frames);
+            self.metrics.add("net.checksum_errors", net.checksum_errors);
+            self.metrics.add("net.dup_frames_skipped", net.dup_frames_skipped);
+            self.metrics.add("net.backoff_ms", net.backoff_ms);
+            self.metrics.add("net.conns_dropped", net.conns_dropped);
+            self.metrics.add("net.bytes_corrupted", net.bytes_corrupted);
+            self.metrics.add("net.frames_truncated", net.frames_truncated);
+            self.metrics.add("net.frames_duplicated", net.frames_duplicated);
+            self.metrics.add("net.frames_delayed", net.frames_delayed);
+        }
+
         FleetReport {
             offered: self.offered,
             completed,
@@ -508,22 +552,37 @@ impl Router {
             replica_deaths: self.deaths,
             replicas,
             decisions: self.decisions,
+            net,
         }
     }
 }
 
-/// Router-side handle to a replica across TCP. Any transport failure —
-/// a refused write, a dropped connection, a killed process — surfaces as
-/// `Err` from [`ReplicaLink::submit`], which the router treats as a
-/// death; nothing is recoverable from a remote corpse, so
-/// [`ReplicaLink::orphans`] returns `(None, None)` and the router fails
-/// the whole assignment ledger over.
+/// Router-side handle to a replica across TCP, hardened for lossy wires.
+///
+/// Every request/response pair runs through [`RemoteReplica::exchange`]:
+/// a transport failure — a dropped connection, a truncated frame, a CRC
+/// mismatch — triggers reconnect-with-resume. The handle re-dials,
+/// presents its session token in `Hello`, and replays the in-flight
+/// frame; the replica's dedup window makes the replay idempotent, so
+/// at-least-once retransmission composes into exactly-once effects.
+/// Only a *fatal* `Error` frame (an injected death, a wedged server), a
+/// lost session, or an exhausted reconnect budget surfaces as `Err` —
+/// which the router treats as a death; nothing is recoverable from a
+/// remote corpse, so [`ReplicaLink::orphans`] returns `(None, None)`
+/// and the router fails the whole assignment ledger over.
 pub struct RemoteReplica {
-    conn: TcpStream,
+    addr: String,
+    conn: Option<Framed<ChaosStream<TcpStream>>>,
+    /// Stable session token presented in every `Hello`; the replica
+    /// replays cached acks for a token it recognises.
+    session: String,
     name: String,
     device: String,
     predicted_ms: f64,
     warm: bool,
+    faults: SharedNetFaults,
+    backoff: Backoff,
+    stats: NetStats,
 }
 
 fn unexpected(frame: &FleetFrame) -> io::Error {
@@ -533,54 +592,201 @@ fn unexpected(frame: &FleetFrame) -> io::Error {
     )
 }
 
+/// Reconnect budget per outage: attempts backing off 10 → 160 ms on the
+/// accounting clock. The delays are *accounted*, never slept —
+/// determinism over realism.
+const RECONNECT_BASE_MS: u64 = 10;
+const RECONNECT_MAX_MS: u64 = 160;
+const RECONNECT_ATTEMPTS: u32 = 6;
+
 impl RemoteReplica {
-    /// Connect and handshake.
+    /// Connect and handshake, injecting the `UNIGPU_NET_FAULTS` plan (if
+    /// any) on this link's outgoing frames.
     pub fn connect(addr: &str) -> io::Result<RemoteReplica> {
-        let mut conn = TcpStream::connect(addr)?;
-        write_frame(&mut conn, &FleetFrame::Hello)?;
-        match read_frame(&mut conn)? {
-            FleetFrame::HelloAck { name, device } => Ok(RemoteReplica {
-                conn,
+        RemoteReplica::connect_with(addr, NetFaultPlan::from_env())
+    }
+
+    /// Connect and handshake with an explicit fault plan for this link's
+    /// outgoing frames (the replica injects its own side via its config).
+    pub fn connect_with(addr: &str, plan: NetFaultPlan) -> io::Result<RemoteReplica> {
+        let mut link = RemoteReplica {
+            addr: addr.to_string(),
+            conn: None,
+            session: format!("unigpu-router-{addr}"),
+            name: String::new(),
+            device: String::new(),
+            predicted_ms: 0.0,
+            warm: false,
+            faults: SharedNetFaults::new(plan),
+            backoff: Backoff::new(RECONNECT_BASE_MS, RECONNECT_MAX_MS, RECONNECT_ATTEMPTS),
+            stats: NetStats::default(),
+        };
+        link.dial(false)?;
+        Ok(link)
+    }
+
+    /// Retire the live connection, folding its receive-side dedup count
+    /// into the link's stats.
+    fn drop_conn(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.stats.dup_frames_skipped += conn.dup_frames_skipped();
+        }
+    }
+
+    /// One connection attempt. Drops the old connection *first* (its
+    /// codec state must not leak into the fresh one), then handshakes at
+    /// v1 and upgrades if the replica acks v2. On `resume`, a replica
+    /// that does not recognise the session token has lost its state:
+    /// that is `InvalidData`, which [`RemoteReplica::reconnect`] treats
+    /// as terminal rather than retrying into a void. Handshake wire
+    /// damage, by contrast, maps to `ConnectionReset` so the retry loop
+    /// keeps going.
+    fn dial(&mut self, resume: bool) -> io::Result<()> {
+        fn wire_err(e: FrameError) -> io::Error {
+            match e {
+                FrameError::Io(e) => e,
+                other => io::Error::new(ErrorKind::ConnectionReset, other.to_string()),
+            }
+        }
+        self.drop_conn();
+        let stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut framed = Framed::new(ChaosStream::new(stream, self.faults.clone()));
+        framed
+            .send(&FleetFrame::Hello {
+                framing: Some(FRAMING_VERSION),
+                session: Some(self.session.clone()),
+            })
+            .map_err(wire_err)?;
+        match framed.recv::<FleetFrame>().map_err(wire_err)? {
+            FleetFrame::HelloAck {
                 name,
                 device,
-                predicted_ms: 0.0,
-                warm: false,
-            }),
+                framing,
+                resumed,
+            } => {
+                if resume && !resumed {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("replica {name} no longer knows session {}", self.session),
+                    ));
+                }
+                if framing == Some(FRAMING_VERSION) {
+                    framed.upgrade();
+                }
+                self.name = name;
+                self.device = device;
+                if resume {
+                    self.stats.resumes += 1;
+                }
+                self.conn = Some(framed);
+                Ok(())
+            }
+            // a replica that got our Hello corrupted answers a non-fatal
+            // Error and waits for a fresh connection — retryable
+            FleetFrame::Error { message, fatal } => Err(io::Error::new(
+                if fatal {
+                    ErrorKind::InvalidData
+                } else {
+                    ErrorKind::ConnectionReset
+                },
+                message,
+            )),
             other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Burn backoff budget re-dialing with resume until a connection
+    /// sticks. `InvalidData` — a lost session or protocol insanity — is
+    /// terminal; anything else retries until the budget runs out.
+    fn reconnect(&mut self) -> io::Result<()> {
+        loop {
+            let Some(delay_ms) = self.backoff.next_delay_ms() else {
+                return Err(io::Error::new(
+                    ErrorKind::ConnectionAborted,
+                    format!("replica {}: reconnect budget exhausted", self.name),
+                ));
+            };
+            self.stats.backoff_ms += delay_ms;
+            self.stats.reconnects += 1;
+            match self.dial(true) {
+                Ok(()) => {
+                    self.backoff.reset();
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::InvalidData => return Err(e),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// One request/response over the hardened link: send, await, and on
+    /// any recoverable transport failure reconnect-with-resume and
+    /// replay the same frame. A `fatal` Error frame or an unexpected
+    /// reply is the replica telling us it is beyond saving — surface
+    /// `Err` and let the router run its death path.
+    fn exchange(&mut self, frame: &FleetFrame) -> io::Result<FleetFrame> {
+        loop {
+            if self.conn.is_none() {
+                self.reconnect()?;
+                self.stats.replayed_frames += 1;
+            }
+            let conn = self.conn.as_mut().expect("just reconnected");
+            let round = conn.send(frame).and_then(|()| conn.recv::<FleetFrame>());
+            match round {
+                Ok(FleetFrame::Error { message, fatal }) => {
+                    if fatal {
+                        return Err(io::Error::new(ErrorKind::BrokenPipe, message));
+                    }
+                    // the replica rejected a damaged frame and is waiting
+                    // for a fresh connection: resume and replay
+                    self.drop_conn();
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => match e {
+                    FrameError::ChecksumMismatch { .. } => {
+                        self.stats.checksum_errors += 1;
+                        self.drop_conn();
+                    }
+                    FrameError::Io(_) | FrameError::SequenceGap { .. } => self.drop_conn(),
+                    // Malformed / TooLarge replies are not wire noise on
+                    // an upgraded connection; retrying cannot fix a
+                    // confused peer
+                    other => return Err(io::Error::from(other)),
+                },
+            }
         }
     }
 
     /// Load a zoo model on the replica. Returns `(warm, predicted_ms)`;
     /// both are also retained on the handle for routing.
     pub fn load(&mut self, model: &str) -> io::Result<(bool, f64)> {
-        write_frame(&mut self.conn, &FleetFrame::Load { model: model.into() })?;
-        match read_frame(&mut self.conn)? {
+        match self.exchange(&FleetFrame::Load {
+            model: model.into(),
+        })? {
             FleetFrame::LoadAck { warm, predicted_ms } => {
                 self.warm = warm;
                 self.predicted_ms = predicted_ms;
                 Ok((warm, predicted_ms))
             }
-            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Fetch the loaded model's artifact in JSONL wire form.
     pub fn fetch_artifact(&mut self) -> io::Result<String> {
-        write_frame(&mut self.conn, &FleetFrame::FetchArtifact)?;
-        match read_frame(&mut self.conn)? {
+        match self.exchange(&FleetFrame::FetchArtifact)? {
             FleetFrame::ArtifactBlob { jsonl } => Ok(jsonl),
-            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Seed the replica's artifact cache ahead of its `load`.
     pub fn push_artifact(&mut self, jsonl: &str) -> io::Result<bool> {
-        write_frame(&mut self.conn, &FleetFrame::PushArtifact { jsonl: jsonl.into() })?;
-        match read_frame(&mut self.conn)? {
+        match self.exchange(&FleetFrame::PushArtifact {
+            jsonl: jsonl.into(),
+        })? {
             FleetFrame::PushAck { stored } => Ok(stored),
-            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::InvalidData, message)),
             other => Err(unexpected(&other)),
         }
     }
@@ -604,10 +810,8 @@ impl ReplicaLink for RemoteReplica {
     }
 
     fn submit(&mut self, id: usize, arrival_ms: f64) -> io::Result<(bool, ReplicaHealth)> {
-        write_frame(&mut self.conn, &FleetFrame::Infer { id, arrival_ms })?;
-        match read_frame(&mut self.conn)? {
+        match self.exchange(&FleetFrame::Infer { id, arrival_ms })? {
             FleetFrame::InferAck { admitted, health } => Ok((admitted, health)),
-            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::BrokenPipe, message)),
             other => Err(unexpected(&other)),
         }
     }
@@ -617,12 +821,21 @@ impl ReplicaLink for RemoteReplica {
     }
 
     fn finish(&mut self) -> io::Result<ReplicaReport> {
-        write_frame(&mut self.conn, &FleetFrame::Finish)?;
-        match read_frame(&mut self.conn)? {
+        match self.exchange(&FleetFrame::Finish)? {
             FleetFrame::Report(report) => Ok(*report),
-            FleetFrame::Error { message } => Err(io::Error::new(ErrorKind::BrokenPipe, message)),
             other => Err(unexpected(&other)),
         }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        let mut stats = self.stats;
+        // injected-fault counters live in the shared plan state; the
+        // live connection's dedup count has not been harvested yet
+        stats.merge(&self.faults.stats());
+        if let Some(conn) = &self.conn {
+            stats.dup_frames_skipped += conn.dup_frames_skipped();
+        }
+        stats
     }
 }
 
@@ -639,6 +852,7 @@ mod tests {
         admitted: Vec<(usize, f64)>,
         shed_all: bool,
         die_on_submit: Option<usize>,
+        die_on_finish: bool,
         submits: usize,
         dead: bool,
     }
@@ -652,6 +866,7 @@ mod tests {
                 admitted: Vec::new(),
                 shed_all: false,
                 die_on_submit: None,
+                die_on_finish: false,
                 submits: 0,
                 dead: false,
             }
@@ -693,6 +908,10 @@ mod tests {
         fn finish(&mut self) -> io::Result<ReplicaReport> {
             if self.dead {
                 return Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"));
+            }
+            if self.die_on_finish {
+                self.dead = true;
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "died during drain"));
             }
             Ok(ReplicaReport {
                 name: self.name.clone(),
@@ -859,5 +1078,94 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.lost(), 0);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_replicas() {
+        let mut doomed = FakeReplica::new("doomed", 1.0);
+        doomed.die_on_submit = Some(3);
+        let survivor = FakeReplica::new("survivor", 1.0);
+        let cfg = RouterConfig {
+            policy: RoutePolicy::RoundRobin,
+            ..RouterConfig::default()
+        };
+        let mut router = Router::new(cfg, pool(vec![doomed, survivor]));
+        for id in 0..20 {
+            assert!(router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.replica_deaths, 1);
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.duplicate_completions(), 0);
+        assert!(report.replicas[0].dead);
+        // after the dying submit, the rotation must never land on the
+        // corpse again
+        let death_idx = report
+            .decisions
+            .iter()
+            .rposition(|d| d.replica == 0)
+            .expect("replica 0 took traffic before dying");
+        assert!(
+            report.decisions[death_idx + 1..].iter().all(|d| d.replica != 0),
+            "round-robin kept offering to a dead replica"
+        );
+        let ids: Vec<usize> = report.completed.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_robin_gives_an_open_breaker_zero_admissions_before_its_probe() {
+        let mut tripped = FakeReplica::new("tripped", 1.0);
+        tripped.health.breaker = 1.0;
+        tripped.health.breaker_open_until_ms = Some(100.0);
+        let healthy = FakeReplica::new("healthy", 1.0);
+        let cfg = RouterConfig {
+            policy: RoutePolicy::RoundRobin,
+            ..RouterConfig::default()
+        };
+        let mut router = Router::new(cfg, pool(vec![tripped, healthy]));
+        for id in 0..10 {
+            assert!(router.route(id, id as f64)); // arrivals 0..9, all pre-probe
+        }
+        assert!(router.route(10, 150.0)); // past the probe instant
+        let report = router.finish();
+        assert_eq!(report.lost(), 0);
+        for d in &report.decisions {
+            if d.replica == 0 {
+                assert!(
+                    d.arrival_ms >= 100.0,
+                    "open replica admitted id {} at {}",
+                    d.id,
+                    d.arrival_ms
+                );
+            }
+        }
+        // everything pre-probe went to the healthy peer
+        assert_eq!(report.replicas[1].offered, 10);
+    }
+
+    #[test]
+    fn a_death_during_shutdown_fails_over_to_undrained_replicas_only() {
+        // pool order [steady, doomed]: steady drains first and is already
+        // finished when doomed dies on its own finish, so doomed's
+        // backlog has nowhere to go but the shed bucket — accounted, not
+        // lost, and never offered to a finished replica.
+        let steady = FakeReplica::new("steady", 1.0);
+        let mut doomed = FakeReplica::new("doomed", 1.0);
+        doomed.die_on_finish = true;
+        let mut router = Router::new(RouterConfig::default(), pool(vec![steady, doomed]));
+        for id in 0..16 {
+            assert!(router.route(id, id as f64));
+        }
+        let report = router.finish();
+        assert_eq!(report.replica_deaths, 1);
+        assert_eq!(report.lost(), 0);
+        assert!(report.replicas[1].dead);
+        assert!(!report.shed.is_empty(), "the doomed backlog must be shed");
+        assert_eq!(report.completed.len() + report.shed.len(), 16);
+        assert_eq!(report.completed.len(), report.replicas[0].completed.len());
+        for d in report.decisions.iter().filter(|d| d.rerouted) {
+            assert_ne!(d.replica, 0, "failover targeted a finished replica");
+        }
     }
 }

@@ -219,6 +219,8 @@ fn tcp_loopback_fleet_serves_and_replicates_warm() {
             serve: serve.clone(),
             cache_dir: Some(root),
             die_on_submit: None,
+            net_faults: Default::default(),
+            max_resumes: 0,
         };
         handles.push(thread::spawn(move || {
             unigpu_fleet::run_replica(&listener, &cfg)

@@ -433,4 +433,96 @@ echo "fleet smoke test: chaos accounting balanced, '$f1' reproduced across runs"
 cleanup_fleet
 trap - EXIT
 
+echo "==> fleet net-chaos gate"
+# The wire itself as the failure domain: replicas run under a
+# UNIGPU_NET_FAULTS plan that corrupts and truncates their frames, the
+# router under one that drops connections and duplicates frames. Fault
+# placement is deliberate — router-side frames carry the session token
+# (which embeds an ephemeral port), so only content-independent faults go
+# on the router side; replica frames are address-free, so corruption
+# there is run-to-run deterministic. The guarantee under all of it:
+# accounting balances, zero duplicate completions, and the fleet digest
+# is byte-identical to a quiet-wire run — chaos shakes the transport,
+# never the outcome.
+net_tmp=$(mktemp -d)
+net_pids=()
+cleanup_net() {
+  for p in "${net_pids[@]:-}"; do
+    if [ -n "$p" ]; then
+      kill "$p" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$net_tmp"
+}
+trap cleanup_net EXIT
+start_net_replica() { # $1=file-tag $2=replica-name $3=device $4=net-plan
+  local tag=$1 name=$2 device=$3 net_plan=$4
+  env ${net_plan:+UNIGPU_NET_FAULTS="$net_plan"} UNIGPU_DB_DIR="$net_tmp/db-$tag" \
+    ./target/release/unigpu fleet replica --listen 127.0.0.1:0 \
+    --device "$device" --name "$name" --port-file "$net_tmp/$tag.port" \
+    --cache-dir "$net_tmp/cache-$tag" --queue-cap 16 --deadline-ms 2000 \
+    > "$net_tmp/$tag.log" 2>&1 &
+  net_pids+=($!)
+  for _ in $(seq 1 100); do
+    [ -s "$net_tmp/$tag.port" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$net_tmp/$tag.port" ]; then
+    echo "error: net-chaos replica $tag never wrote its port file"
+    cat "$net_tmp/$tag.log" || true
+    exit 1
+  fi
+}
+replica_plan="corrupt_byte_nth:9/truncate_frame_nth:13"
+router_plan="drop_conn_nth:11/dup_frame_nth:7"
+for run in quiet chaos1 chaos2; do
+  net_pids=()
+  if [ "$run" = quiet ]; then rp=""; rtp=""; else rp=$replica_plan; rtp=$router_plan; fi
+  start_net_replica "$run-r0" r0 deeplens "$rp"
+  start_net_replica "$run-r1" r1 deeplens "$rp"
+  if ! env ${rtp:+UNIGPU_NET_FAULTS="$rtp"} ./target/release/unigpu fleet router \
+      --replica "$(cat "$net_tmp/$run-r0.port")" \
+      --replica "$(cat "$net_tmp/$run-r1.port")" \
+      --model SqueezeNet1.0 --requests 64 > "$net_tmp/$run.log" 2>&1; then
+    echo "error: fleet router exited non-zero in net-chaos run $run"
+    cat "$net_tmp/$run.log"
+    exit 1
+  fi
+  if ! grep -q 'duplicates=0 (0 lost)' "$net_tmp/$run.log"; then
+    echo "error: net-chaos run $run lost or duplicated requests:"
+    cat "$net_tmp/$run.log"
+    exit 1
+  fi
+  if ! grep -q 'offered=64' "$net_tmp/$run.log"; then
+    echo "error: net-chaos run $run accounting line missing or wrong offered count:"
+    cat "$net_tmp/$run.log"
+    exit 1
+  fi
+done
+# the quiet wire must leave no transport counters; the noisy wire must
+# have actually hurt — and been survived via reconnect-with-resume
+if grep -q '^fleet net:' "$net_tmp/quiet.log"; then
+  echo "error: quiet run reported nonzero net counters:"
+  cat "$net_tmp/quiet.log"
+  exit 1
+fi
+for run in chaos1 chaos2; do
+  if ! grep -q '^fleet net: reconnects=[1-9]' "$net_tmp/$run.log"; then
+    echo "error: net-chaos run $run never reconnected (plan did not bite?):"
+    cat "$net_tmp/$run.log"
+    exit 1
+  fi
+done
+nq=$(grep '^fleet digest:' "$net_tmp/quiet.log" || true)
+n1=$(grep '^fleet digest:' "$net_tmp/chaos1.log" || true)
+n2=$(grep '^fleet digest:' "$net_tmp/chaos2.log" || true)
+if [ -z "$nq" ] || [ "$n1" != "$n2" ] || [ "$n1" != "$nq" ]; then
+  echo "error: wire chaos leaked into fleet outcomes: quiet='$nq' chaos='$n1'/'$n2'"
+  exit 1
+fi
+grep '^fleet net:' "$net_tmp/chaos1.log"
+echo "fleet net-chaos gate: '$nq' held under wire faults, exactly-once preserved"
+cleanup_net
+trap - EXIT
+
 echo "ci: all gates passed"

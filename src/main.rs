@@ -37,8 +37,8 @@ use unigpu::ops::conv::te::conv2d_compute;
 use unigpu::ops::ConvWorkload;
 use unigpu::farm::{run_worker, FarmClient, FaultPlan, Tracker, TrackerConfig, WorkerConfig};
 use unigpu::fleet::{
-    run_replica, warm_remote_pool, RemoteReplica, ReplicaConfig, ReplicaLink, RoutePolicy, Router,
-    RouterConfig,
+    run_replica, warm_remote_pool, NetFaultPlan, RemoteReplica, ReplicaConfig, ReplicaLink,
+    RoutePolicy, Router, RouterConfig,
 };
 use unigpu::telemetry::{
     tel_error, tel_warn, AlertRule, ChromeTrace, MetricsRegistry, MetricsServer, SpanRecorder,
@@ -730,10 +730,14 @@ fn cmd_farm(args: &[String]) -> Result<(), CliError> {
             let cfg = WorkerConfig {
                 name: opt(args, "--name").unwrap_or("worker").to_string(),
                 faults: FaultPlan::from_env(),
+                net_faults: NetFaultPlan::from_env(),
                 ..Default::default()
             };
             if !cfg.faults.is_noop() {
                 tel_warn!("unigpu::cli", "farm fault injection active: {:?}", cfg.faults);
+            }
+            if !cfg.net_faults.is_noop() {
+                tel_warn!("unigpu::cli", "network fault injection active: {:?}", cfg.net_faults);
             }
             println!("worker `{}` serving {} via {tracker}", cfg.name, platform.gpu.name);
             match run_worker(tracker, platform.gpu.clone(), cfg) {
@@ -802,12 +806,25 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
             let serve = builder
                 .build()
                 .map_err(|e| CliError(format!("invalid serve config: {e}")))?;
+            // wire faults follow the same flag-over-env convention as the
+            // device plan, reading UNIGPU_NET_FAULTS when the flag is absent
+            let net_faults = match opt(args, "--net-faults") {
+                Some(spec) => NetFaultPlan::parse(spec),
+                None => NetFaultPlan::from_env(),
+            };
+            if !net_faults.is_noop() {
+                tel_warn!("unigpu::cli", "network fault injection active: {net_faults:?}");
+            }
             let cfg = ReplicaConfig {
                 name: name.clone(),
                 platform,
                 serve,
                 cache_dir: opt(args, "--cache-dir").map(PathBuf::from),
                 die_on_submit: opt(args, "--die-on-submit").and_then(|s| s.parse().ok()),
+                net_faults,
+                max_resumes: opt(args, "--max-resumes")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64),
             };
             run_replica(&listener, &cfg)
                 .map_err(|e| CliError(format!("replica `{name}` transport failure: {e}")))?;
@@ -893,7 +910,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
             }
             println!(
                 "fleet accounting: offered={} completed={} shed={} expired={} failed={} \
-                 rerouted={} deaths={} ({} lost)",
+                 rerouted={} deaths={} duplicates={} ({} lost)",
                 report.offered,
                 report.completed.len(),
                 report.shed.len(),
@@ -901,8 +918,25 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
                 report.failed.len(),
                 report.rerouted,
                 report.replica_deaths,
+                report.duplicate_completions(),
                 report.lost()
             );
+            if report.net.any() {
+                println!(
+                    "fleet net: reconnects={} resumes={} replays={} checksum_errors={} \
+                     dup_frames_skipped={} conns_dropped={} corrupted={} truncated={} \
+                     duplicated={}",
+                    report.net.reconnects,
+                    report.net.resumes,
+                    report.net.replayed_frames,
+                    report.net.checksum_errors,
+                    report.net.dup_frames_skipped,
+                    report.net.conns_dropped,
+                    report.net.bytes_corrupted,
+                    report.net.frames_truncated,
+                    report.net.frames_duplicated,
+                );
+            }
             println!("fleet p99: {:.2} ms", report.p99_latency_ms());
             println!("fleet digest: {:016x}", report.digest());
             if report.lost() != 0 {
@@ -917,9 +951,12 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
             "usage: unigpu fleet replica [--listen ADDR] [--device deeplens|aisage|nano] \
              [--name N] [--port-file F] [--cache-dir DIR] [--concurrency K] [--batch B] \
              [--window-ms W] [--queue-cap N] [--deadline-ms D] [--faults PLAN] \
-             [--die-on-submit N]\n       \
+             [--net-faults PLAN] [--max-resumes N] [--die-on-submit N]\n       \
              unigpu fleet router --replica ADDR [--replica ADDR ...] [--model M] \
-             [--requests N] [--interval-ms I] [--policy pow2|round-robin] [--seed S]"
+             [--requests N] [--interval-ms I] [--policy pow2|round-robin] [--seed S]\n       \
+             PLAN for --net-faults / UNIGPU_NET_FAULTS: \
+             drop_conn_nth:K/corrupt_byte_nth:K/truncate_frame_nth:K/dup_frame_nth:K/\
+             delay_frame_nth:K:MS (the router side reads the env var)"
                 .into(),
         )),
     }
